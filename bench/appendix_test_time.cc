@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Appendix A: RDT testing time and energy estimation from tightly
+ * scheduled DDR5 command sequences. Reproduces the command listings of
+ * Tables 4 and 5, the timing parameters of Table 6, and the series
+ * behind Figs. 17-24 (single / 1K / 100K measurements, RowHammer
+ * tAggOn = tRAS and RowPress tAggOn = 7.8 us, swept over hammer
+ * counts, simultaneously tested banks, and victim-row counts).
+ */
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "core/test_time_model.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+namespace {
+
+std::string HumanTime(double seconds) {
+  const double s = seconds;
+  char buffer[64];
+  if (s < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f ms", s * 1e3);
+  } else if (s < 60.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f s", s);
+  } else if (s < 86400.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f h", s / 3600.0);
+  } else if (s < 365.0 * 86400.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f days", s / 86400.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f years",
+                  s / (365.0 * 86400.0));
+  }
+  return buffer;
+}
+
+std::string HumanEnergy(double joules) {
+  char buffer[64];
+  if (joules < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f mJ", joules * 1e3);
+  } else if (joules < 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f J", joules);
+  } else if (joules < 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f kJ", joules / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f MJ", joules / 1e6);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  (void)flags;
+  const core::TestTimeModel model;
+  const Tick t_ras = model.timing().tRAS;
+  const Tick t_press = units::FromUs(7.8);
+
+  PrintBanner(std::cout, "Table 6: DDR5 timing parameters (ns)");
+  TextTable t6({"Timing Parameter", "Latency (ns)"});
+  t6.AddRow({"tRRD_S", Cell(units::ToNs(model.timing().tRRD_S), 3)});
+  t6.AddRow({"tCCD_S", Cell(units::ToNs(model.timing().tCCD_S), 3)});
+  t6.AddRow({"tCCD_L", Cell(units::ToNs(model.timing().tCCD_L), 3)});
+  t6.AddRow(
+      {"tCCD_L_WR", Cell(units::ToNs(model.timing().tCCD_L_WR), 3)});
+  t6.AddRow({"tRCD", Cell(units::ToNs(model.timing().tRCD), 3)});
+  t6.AddRow({"tRP", Cell(units::ToNs(model.timing().tRP), 3)});
+  t6.AddRow({"tRAS", Cell(units::ToNs(model.timing().tRAS), 3)});
+  t6.AddRow({"tRTP", Cell(units::ToNs(model.timing().tRTP), 3)});
+  t6.AddRow({"tWR", Cell(units::ToNs(model.timing().tWR), 3)});
+  t6.Print(std::cout);
+
+  PrintBanner(std::cout,
+              "Table 4: commands for one RDT measurement, one bank");
+  model.CommandTable(/*hammers=*/1000, /*banks=*/1).Print(std::cout);
+  PrintBanner(std::cout,
+              "Table 5: commands for one RDT measurement, 16 banks");
+  model.CommandTable(/*hammers=*/1000, /*banks=*/16).Print(std::cout);
+
+  // Figs. 17 & 21: one measurement, varying hammers and banks.
+  for (const auto& [label, t_on] :
+       {std::pair<const char*, Tick>{"RowHammer (tAggOn = tRAS)",
+                                     t_ras},
+        std::pair<const char*, Tick>{"RowPress (tAggOn = 7.8 us)",
+                                     t_press}}) {
+    PrintBanner(std::cout, std::string("Figs. 17/21: single RDT "
+                                       "measurement cost, ") + label);
+    TextTable table({"# hammers", "banks", "time", "energy"});
+    for (const std::uint64_t hammers : {1000ull, 10000ull, 100000ull}) {
+      for (const std::uint32_t banks : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const core::TestCost cost =
+            model.MeasurementCost(hammers, t_on, banks);
+        table.AddRow({Cell(hammers), Cell(std::uint64_t{banks}),
+                      HumanTime(cost.seconds), HumanEnergy(cost.energy)});
+      }
+    }
+    table.Print(std::cout);
+  }
+
+  // Figs. 18 & 22: one measurement of N rows in one bank.
+  PrintBanner(std::cout,
+              "Figs. 18/22: single measurement of many rows, one bank");
+  TextTable rows_table(
+      {"rows", "# hammers", "RowHammer time", "RowPress time"});
+  for (const std::uint64_t rows : {1024ull, 65536ull, 131072ull}) {
+    for (const std::uint64_t hammers : {1000ull, 10000ull}) {
+      rows_table.AddRow(
+          {Cell(rows), Cell(hammers),
+           HumanTime(model.CampaignCost(rows, 1, hammers, t_ras).seconds),
+           HumanTime(
+               model.CampaignCost(rows, 1, hammers, t_press).seconds)});
+    }
+  }
+  rows_table.Print(std::cout);
+
+  // Figs. 19/20 and 23/24: 1K and 100K measurements at hammer count 1K.
+  PrintBanner(std::cout,
+              "Figs. 19/20/23/24: campaign cost, hammer count = 1K");
+  TextTable campaign({"measurements", "rows/bank", "banks", "mode",
+                      "time", "energy"});
+  for (const std::uint64_t measurements : {1000ull, 100000ull}) {
+    for (const std::uint32_t banks : {1u, 16u, 32u}) {
+      for (const auto& [mode, t_on] :
+           {std::pair<const char*, Tick>{"RowHammer", t_ras},
+            std::pair<const char*, Tick>{"RowPress", t_press}}) {
+        const core::TestCost cost = model.CampaignCost(
+            1u << 17, measurements, 1000, t_on, banks);
+        campaign.AddRow({Cell(measurements), Cell(1u << 17),
+                         Cell(std::uint64_t{banks}), mode,
+                         HumanTime(cost.seconds),
+                         HumanEnergy(cost.energy)});
+      }
+    }
+  }
+  campaign.Print(std::cout);
+
+  PrintBanner(std::cout, "Appendix A headline checks");
+  // The paper quotes a 256K-row bank (footnote in §1).
+  const core::TestCost rh_100k =
+      model.CampaignCost(1u << 18, 100000, 1000, t_ras, 32);
+  PrintCheck("appendixA.rowhammer_100k_full_chip_time", "61 days",
+             HumanTime(rh_100k.seconds));
+  PrintCheck("appendixA.rowhammer_100k_full_chip_energy", "13 MJ",
+             HumanEnergy(rh_100k.energy));
+  const core::TestCost rh_1k =
+      model.CampaignCost(1u << 18, 1000, 1000, t_ras, 32);
+  PrintCheck("appendixA.rowhammer_1k_full_chip_time", "15 hours",
+             HumanTime(rh_1k.seconds));
+  const core::TestCost rp_1k =
+      model.CampaignCost(1u << 18, 1000, 1000, t_press, 32);
+  PrintCheck("appendixA.rowpress_1k_full_chip_time", "48 days",
+             HumanTime(rp_1k.seconds));
+  const core::TestCost rp_100k =
+      model.CampaignCost(1u << 18, 100000, 1000, t_press, 32);
+  PrintCheck("appendixA.rowpress_100k_full_chip_time", "13 years",
+             HumanTime(rp_100k.seconds));
+
+  // §1: 94,467 measurements of a single row with RDT ~1,000 take ~9.5s.
+  const core::TestCost intro =
+      model.CampaignCost(1, 94467, 1000, t_ras, 1);
+  PrintCheck("appendixA.94467_measurements_one_row", "9.5 s",
+             HumanTime(intro.seconds));
+  // §6.2: one measurement of every row of a 256K-row bank with hammer
+  // count 8,000, 4 patterns, 3 temperatures: ~39 minutes.
+  const core::TestCost profiling =
+      model.CampaignCost(1u << 18, 1, 8000, t_ras, 1);
+  PrintCheck("appendixA.one_shot_bank_profile_4pat_3temp",
+             "39 minutes",
+             HumanTime(profiling.seconds * 4 * 3));
+  return 0;
+}

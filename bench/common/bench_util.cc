@@ -1,0 +1,133 @@
+#include "common/bench_util.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vrddram::bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unrecognized argument: " << arg
+                << " (flags are --key=value)\n";
+      std::exit(2);
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "true";
+    } else {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::uint64_t Flags::GetUint(const std::string& key,
+                             std::uint64_t default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key,
+                        double default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  return it->second == "true" || it->second == "1";
+}
+
+std::vector<std::string> ResolveDevices(const std::string& spec) {
+  if (spec == "all") {
+    return vrd::AllDeviceNames();
+  }
+  if (spec == "ddr4") {
+    return vrd::Ddr4ModuleNames();
+  }
+  if (spec == "hbm2") {
+    return vrd::Hbm2ChipNames();
+  }
+  std::vector<std::string> names;
+  std::istringstream is(spec);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (!token.empty()) {
+      names.push_back(token);
+    }
+  }
+  VRD_FATAL_IF(names.empty(), "no devices in --devices spec");
+  return names;
+}
+
+bool CollectSingleRowSeries(const std::string& device_name,
+                            std::size_t measurements,
+                            std::uint64_t seed, SingleRowSeries* out) {
+  auto device = vrd::BuildDevice(device_name, seed);
+  if (device->config().has_on_die_ecc) {
+    device->SetOnDieEccEnabled(false);  // §3.1
+  }
+  device->SetTemperature(80.0);
+
+  core::ProfilerConfig pc;
+  pc.pattern = dram::DataPattern::kCheckered0;
+  core::RdtProfiler profiler(*device, pc);
+  const auto victim = profiler.FindVictim(1, 8192);
+  if (!victim) {
+    return false;
+  }
+  out->device = device_name;
+  out->row = victim->row;
+  out->rdt_guess = victim->rdt_guess;
+  out->series =
+      profiler.MeasureSeries(victim->row, victim->rdt_guess, measurements);
+  return true;
+}
+
+void AddBoxRow(TextTable& table, const std::string& label,
+               const stats::BoxStats& box, int precision) {
+  table.AddRow({label, Cell(box.min, precision), Cell(box.q1, precision),
+                Cell(box.median, precision), Cell(box.q3, precision),
+                Cell(box.max, precision), Cell(box.mean, precision)});
+}
+
+void PrintCheck(const std::string& name, const std::string& paper,
+                const std::string& measured) {
+  std::cout << "CHECK " << name << ": paper=" << paper
+            << " measured=" << measured << '\n';
+}
+
+void PrintCheck(const std::string& name, double paper, double measured,
+                int precision) {
+  PrintCheck(name, Cell(paper, precision), Cell(measured, precision));
+}
+
+void PrintCheck(const std::string& name, const std::string& paper,
+                double measured, int precision) {
+  PrintCheck(name, paper, Cell(measured, precision));
+}
+
+stats::BoxStats Box(const std::vector<double>& xs) {
+  return stats::ComputeBoxStats(xs);
+}
+
+}  // namespace vrddram::bench

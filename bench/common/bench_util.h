@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction harnesses: flag
+ * parsing, series collection shortcuts, box-plot row formatting, and
+ * the paper-vs-measured check lines recorded in EXPERIMENTS.md.
+ */
+#ifndef VRDDRAM_BENCH_COMMON_BENCH_UTIL_H
+#define VRDDRAM_BENCH_COMMON_BENCH_UTIL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/campaign.h"
+#include "core/rdt_profiler.h"
+#include "core/series_analysis.h"
+#include "stats/descriptive.h"
+#include "vrd/chip_catalog.h"
+
+namespace vrddram::bench {
+
+/**
+ * Tiny --key=value flag parser. Unknown flags abort with a usage
+ * message; every bench documents its knobs through Describe().
+ */
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  std::uint64_t GetUint(const std::string& key,
+                        std::uint64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Resolve a --devices= flag value: "all", "ddr4", "hbm2", or a
+/// comma-separated list of catalog names.
+std::vector<std::string> ResolveDevices(const std::string& spec);
+
+/// One 100k-style single-row series: find a victim on the device per
+/// Alg. 1 and measure it `measurements` times.
+struct SingleRowSeries {
+  std::string device;
+  dram::RowAddr row = 0;
+  std::uint64_t rdt_guess = 0;
+  std::vector<std::int64_t> series;
+};
+
+/// Runs Alg. 1 on one device (Checkered0, min tRAS, 80 degC - the §4
+/// foundational setup). Returns false if no victim row qualifies.
+bool CollectSingleRowSeries(const std::string& device_name,
+                            std::size_t measurements,
+                            std::uint64_t seed, SingleRowSeries* out);
+
+/// Append one box-and-whiskers row (min / Q1 / median / Q3 / max /
+/// mean) to a table.
+void AddBoxRow(TextTable& table, const std::string& label,
+               const stats::BoxStats& box, int precision = 0);
+
+/// Paper-vs-measured check line, greppable for EXPERIMENTS.md:
+/// "CHECK <name>: paper=<paper> measured=<measured>".
+void PrintCheck(const std::string& name, const std::string& paper,
+                const std::string& measured);
+void PrintCheck(const std::string& name, double paper, double measured,
+                int precision = 3);
+void PrintCheck(const std::string& name, const std::string& paper,
+                double measured, int precision = 3);
+
+/// Box stats over a vector<double>; convenience alias used by benches.
+stats::BoxStats Box(const std::vector<double>& xs);
+
+}  // namespace vrddram::bench
+
+#endif  // VRDDRAM_BENCH_COMMON_BENCH_UTIL_H

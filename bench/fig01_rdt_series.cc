@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Figure 1: the read disturbance threshold of one DRAM row over
+ * 100,000 repeated measurements. Left panel: per-1,000-measurement
+ * chunks (mean and min/max range). Right panel: zoom on the last
+ * 1,000 measurements. Also reports when the series minimum first
+ * appears - the paper observes it after as many as 94,467
+ * measurements across all tested rows (Finding 1 / §1).
+ *
+ * Flags: --device=H1 --measurements=100000 --seed=2025 --scan=all
+ *        (--scan runs every catalog device and reports the worst-case
+ *         first-minimum index; --scan=none skips it)
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "common/bench_util.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string device = flags.GetString("device", "H1");
+  const auto measurements =
+      static_cast<std::size_t>(flags.GetUint("measurements", 100000));
+  const std::uint64_t seed = flags.GetUint("seed", 2025);
+  const std::string scan = flags.GetString("scan", "all");
+
+  PrintBanner(std::cout, "Figure 1: RDT of one row over " +
+                             std::to_string(measurements) +
+                             " repeated measurements (" + device + ")");
+
+  SingleRowSeries data;
+  if (!CollectSingleRowSeries(device, measurements, seed, &data)) {
+    std::cerr << "no victim row found on " << device << '\n';
+    return 1;
+  }
+  const core::SeriesAnalysis analysis = core::AnalyzeSeries(data.series);
+
+  std::cout << "victim row " << data.row << ", RDT_guess "
+            << data.rdt_guess << "\n\n";
+
+  // Left panel: one row per 1,000-measurement chunk.
+  TextTable chunks({"measurements", "mean RDT", "min RDT", "max RDT"});
+  const std::size_t chunk = 1000;
+  for (std::size_t base = 0; base < data.series.size(); base += chunk) {
+    const std::size_t end = std::min(base + chunk, data.series.size());
+    double sum = 0.0;
+    std::int64_t mn = -1;
+    std::int64_t mx = -1;
+    std::size_t n = 0;
+    for (std::size_t i = base; i < end; ++i) {
+      const std::int64_t v = data.series[i];
+      if (v < 0) {
+        continue;
+      }
+      sum += static_cast<double>(v);
+      mn = (mn < 0) ? v : std::min(mn, v);
+      mx = std::max(mx, v);
+      ++n;
+    }
+    if (n == 0 || base % (chunk * 10) != 0) {
+      continue;  // print every 10th chunk to keep the table readable
+    }
+    chunks.AddRow({Cell(base) + "-" + Cell(end - 1),
+                   Cell(sum / static_cast<double>(n), 1), Cell(mn),
+                   Cell(mx)});
+  }
+  chunks.Print(std::cout);
+
+  // Right panel: zoom on the last 1,000 measurements.
+  PrintBanner(std::cout, "Zoom: last 1,000 measurements");
+  const std::size_t tail_base =
+      data.series.size() > chunk ? data.series.size() - chunk : 0;
+  std::vector<std::int64_t> tail(data.series.begin() +
+                                     static_cast<std::ptrdiff_t>(tail_base),
+                                 data.series.end());
+  const core::SeriesAnalysis tail_analysis = core::AnalyzeSeries(tail);
+  TextTable zoom({"metric", "value"});
+  zoom.AddRow({"min", Cell(tail_analysis.min_rdt)});
+  zoom.AddRow({"max", Cell(tail_analysis.max_rdt)});
+  zoom.AddRow({"mean", Cell(tail_analysis.mean, 1)});
+  zoom.AddRow({"unique values", Cell(tail_analysis.unique_values)});
+  zoom.Print(std::cout);
+
+  PrintBanner(std::cout, "Finding 1 summary");
+  std::cout << "series min " << analysis.min_rdt << ", max "
+            << analysis.max_rdt << " (max/min "
+            << Cell(analysis.max_over_min, 3) << ")\n";
+  std::cout << "minimum first appears at measurement #"
+            << analysis.first_min_index << " (multiplicity "
+            << analysis.min_multiplicity << ")\n";
+  PrintCheck("fig01.min_appears_after_many_measurements",
+             "16,926 (example row)",
+             Cell(static_cast<std::uint64_t>(analysis.first_min_index)));
+
+  if (scan != "none") {
+    PrintBanner(std::cout,
+                "Worst-case first-minimum index across devices");
+    TextTable table(
+        {"device", "row", "first min at", "min RDT", "max/min"});
+    std::size_t worst = 0;
+    const std::size_t scan_measurements =
+        std::min<std::size_t>(measurements, 100000);
+    for (const std::string& name : ResolveDevices(scan)) {
+      SingleRowSeries scan_data;
+      if (!CollectSingleRowSeries(name, scan_measurements,
+                                  seed + 17, &scan_data)) {
+        continue;
+      }
+      const auto a = core::AnalyzeSeries(scan_data.series);
+      table.AddRow({name, Cell(scan_data.row),
+                    Cell(static_cast<std::uint64_t>(a.first_min_index)),
+                    Cell(a.min_rdt), Cell(a.max_over_min, 2)});
+      worst = std::max(worst, a.first_min_index);
+    }
+    table.Print(std::cout);
+    PrintCheck("fig01.worst_first_min_index", "94,467",
+               Cell(static_cast<std::uint64_t>(worst)));
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 4 + §4.1: histogram of the measured RDT values of one victim
+ * row per device, with the number of bins equal to the number of
+ * unique measured values (Finding 2: multiple states, most
+ * distributions unimodal around a mean, HBM Chip1 bimodal), and the
+ * chi-square goodness-of-fit test against a fitted normal (Finding 4:
+ * an RDT measurement likely samples a normally distributed random
+ * variable).
+ *
+ * Flags: --devices=all --measurements=100000 --seed=2025 --bars=H1
+ *        (--bars prints the full ASCII histogram of one device)
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "stats/histogram.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto measurements =
+      static_cast<std::size_t>(flags.GetUint("measurements", 100000));
+  const std::uint64_t seed = flags.GetUint("seed", 2025);
+  const auto devices = ResolveDevices(flags.GetString("devices", "all"));
+  const std::string bars_device = flags.GetString("bars", "M1");
+
+  PrintBanner(std::cout,
+              "Figure 4: RDT histograms (bins = unique values) and "
+              "chi-square normality per device");
+
+  TextTable table({"device", "unique values", "modes", "chi2 p-value",
+                   "normal at alpha=0.05", "mean", "stddev"});
+  double min_p_unimodal = 1.0;
+  std::vector<double> unimodal_ps;
+  std::size_t m1_unique = 0;
+  std::size_t chip1_modes = 0;
+  for (const std::string& name : devices) {
+    SingleRowSeries data;
+    if (!CollectSingleRowSeries(name, measurements, seed, &data)) {
+      continue;
+    }
+    const core::SeriesAnalysis a = core::AnalyzeSeries(data.series);
+    table.AddRow({name, Cell(a.unique_values),
+                  Cell(a.histogram_modes), Cell(a.normal_fit.p_value, 4),
+                  a.normal_fit.NormalAt(0.05) ? "yes" : "no",
+                  Cell(a.mean, 1), Cell(a.stddev, 1)});
+    if (a.histogram_modes <= 1) {
+      min_p_unimodal = std::min(min_p_unimodal, a.normal_fit.p_value);
+      unimodal_ps.push_back(a.normal_fit.p_value);
+    }
+    if (name == "M1") {
+      m1_unique = a.unique_values;
+    }
+    if (name == "Chip1") {
+      chip1_modes = a.histogram_modes;
+    }
+
+    if (name == bars_device) {
+      PrintBanner(std::cout, "Histogram of " + name);
+      std::vector<double> values;
+      for (const std::int64_t v : data.series) {
+        if (v >= 0) {
+          values.push_back(static_cast<double>(v));
+        }
+      }
+      const stats::Histogram hist =
+          stats::BuildUniqueValueHistogram(values);
+      const auto peak = hist.bins[hist.ModeBin()].count;
+      for (const stats::HistogramBin& bin : hist.bins) {
+        const auto width = static_cast<std::size_t>(
+            60.0 * static_cast<double>(bin.count) /
+            static_cast<double>(peak));
+        std::cout << Cell(bin.lo, 0) << "\t" << bin.count << "\t"
+                  << std::string(width, '#') << '\n';
+      }
+      std::cout << '\n';
+    }
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Findings 2 and 4 checks");
+  PrintCheck("fig04.m1_unique_values", "21",
+             Cell(static_cast<std::uint64_t>(m1_unique)));
+  PrintCheck("fig04.chip1_bimodal", "2 modes",
+             Cell(static_cast<std::uint64_t>(chip1_modes)) + " modes");
+  PrintCheck("fig04.min_p_value_unimodal_chips", 0.18, min_p_unimodal,
+             3);
+  // Devices whose single tested row carries a strong rare deep-minimum
+  // trap reject normality (the deep states form a left tail); the
+  // majority are consistent with the paper's normal-fit observation.
+  std::size_t passing = 0;
+  for (const double p : unimodal_ps) {
+    if (p > 0.05) {
+      ++passing;
+    }
+  }
+  PrintCheck("fig04.unimodal_chips_consistent_with_normal",
+             "all tested chips",
+             Cell(static_cast<std::uint64_t>(passing)) + " of " +
+                 Cell(static_cast<std::uint64_t>(unimodal_ps.size())));
+  return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 6 / Finding 4: the autocorrelation function of a series of
+ * RDT measurements (module M1) compared against the ACF of a series of
+ * normally distributed random numbers: no repeating patterns.
+ *
+ * Flags: --device=M1 --measurements=100000 --lags=40 --seed=2025
+ */
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "common/rng.h"
+#include "stats/autocorrelation.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string device = flags.GetString("device", "M1");
+  const auto measurements =
+      static_cast<std::size_t>(flags.GetUint("measurements", 100000));
+  const auto lags =
+      static_cast<std::size_t>(flags.GetUint("lags", 40));
+  const std::uint64_t seed = flags.GetUint("seed", 2025);
+
+  PrintBanner(std::cout, "Figure 6: ACF of the RDT series of " + device +
+                             " vs. ACF of white noise");
+
+  SingleRowSeries data;
+  if (!CollectSingleRowSeries(device, measurements, seed, &data)) {
+    std::cerr << "no victim row found on " << device << '\n';
+    return 1;
+  }
+  std::vector<double> values;
+  for (const std::int64_t v : data.series) {
+    if (v >= 0) {
+      values.push_back(static_cast<double>(v));
+    }
+  }
+  const std::vector<double> rdt_acf =
+      stats::Autocorrelation(values, lags);
+
+  // Reference: same-length normally distributed random series.
+  Rng rng(seed ^ 0xac5);
+  std::vector<double> noise(values.size());
+  for (double& x : noise) {
+    x = rng.NextGaussian();
+  }
+  const std::vector<double> noise_acf =
+      stats::Autocorrelation(noise, lags);
+
+  const double bound = stats::WhiteNoiseBound95(values.size());
+  TextTable table({"lag", "ACF(RDT series)", "ACF(white noise)",
+                   "95% band"});
+  for (std::size_t lag = 0; lag <= lags; ++lag) {
+    table.AddRow({Cell(static_cast<std::uint64_t>(lag)),
+                  Cell(rdt_acf[lag], 4), Cell(noise_acf[lag], 4),
+                  "+-" + Cell(bound, 4)});
+  }
+  table.Print(std::cout);
+
+  const double rdt_sig =
+      stats::FractionSignificantLags(rdt_acf, values.size());
+  const double noise_sig =
+      stats::FractionSignificantLags(noise_acf, noise.size());
+  PrintBanner(std::cout, "Finding 4 check");
+  PrintCheck("fig06.significant_lags_rdt_vs_noise",
+             "comparable to white noise",
+             Cell(rdt_sig, 3) + " vs " + Cell(noise_sig, 3));
+  return 0;
+}

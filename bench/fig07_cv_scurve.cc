@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Figure 7 / Findings 5-6: S-curve of the coefficient of variation of
+ * RDT across all tested rows (max CV over all combinations of data
+ * pattern, tAggOn, and temperature), plus the P50 and P100 example
+ * rows and the fraction of rows exhibiting temporal variation under
+ * all / at least one parameter combination.
+ *
+ * Flags: --devices=all --rows=9 --measurements=1000 --seed=2025
+ *        --patterns=4 --tons=3 --temps=3 (combination counts)
+ */
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "common/bench_util.h"
+#include "core/csv_export.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  core::CampaignConfig config;
+  config.devices = ResolveDevices(flags.GetString("devices", "all"));
+  config.rows_per_device =
+      static_cast<std::size_t>(flags.GetUint("rows", 9));
+  config.measurements =
+      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
+  config.base_seed = flags.GetUint("seed", 2025);
+  config.scan_rows_per_region =
+      static_cast<std::size_t>(flags.GetUint("scan", 96));
+
+  const auto n_patterns = flags.GetUint("patterns", 4);
+  const auto n_tons = flags.GetUint("tons", 3);
+  const auto n_temps = flags.GetUint("temps", 3);
+  config.patterns.assign(dram::kAllDataPatterns,
+                         dram::kAllDataPatterns +
+                             std::min<std::uint64_t>(n_patterns, 4));
+  const core::TOnChoice all_tons[] = {core::TOnChoice::kMinTras,
+                                      core::TOnChoice::kTrefi,
+                                      core::TOnChoice::kNineTrefi};
+  config.t_ons.assign(all_tons,
+                      all_tons + std::min<std::uint64_t>(n_tons, 3));
+  const Celsius all_temps[] = {50.0, 65.0, 80.0};
+  config.temperatures.assign(
+      all_temps, all_temps + std::min<std::uint64_t>(n_temps, 3));
+
+  PrintBanner(std::cout,
+              "Figure 7: temporal variation of RDT across DRAM rows");
+  std::cout << config.devices.size() << " devices x "
+            << config.rows_per_device << " rows x "
+            << config.patterns.size() * config.t_ons.size() *
+                   config.temperatures.size()
+            << " parameter combinations x " << config.measurements
+            << " measurements\n";
+
+  const core::CampaignResult result = core::RunCampaign(config);
+
+  const std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    core::WriteSummaryCsv(csv, result);
+    std::cout << "wrote per-series summary CSV to " << csv_path << "\n";
+  }
+
+  // Per (device, row): max CV across combinations, plus per-combo CVs
+  // for the Finding 6 fractions and the worst max/min ratio.
+  struct RowAgg {
+    double max_cv = 0.0;
+    double max_ratio = 1.0;
+    bool varies_under_all = true;
+    bool varies_under_any = false;
+  };
+  std::map<std::pair<std::string, dram::RowAddr>, RowAgg> rows;
+  for (const core::SeriesRecord& record : result.records) {
+    const core::SeriesAnalysis a =
+        core::AnalyzeSeries(record.series, /*acf_max_lag=*/1);
+    RowAgg& agg = rows[{record.device, record.row}];
+    agg.max_cv = std::max(agg.max_cv, a.cv);
+    agg.max_ratio = std::max(agg.max_ratio, a.max_over_min);
+    if (a.unique_values > 1) {
+      agg.varies_under_any = true;
+    } else {
+      agg.varies_under_all = false;
+    }
+  }
+
+  std::vector<double> cvs;
+  double max_ratio = 1.0;
+  std::size_t all_combo_count = 0;
+  std::size_t any_combo_count = 0;
+  for (const auto& [key, agg] : rows) {
+    cvs.push_back(agg.max_cv);
+    max_ratio = std::max(max_ratio, agg.max_ratio);
+    if (agg.varies_under_all) {
+      ++all_combo_count;
+    }
+    if (agg.varies_under_any) {
+      ++any_combo_count;
+    }
+  }
+  std::sort(cvs.begin(), cvs.end());
+
+  TextTable scurve({"percentile of rows", "max CV across combos"});
+  for (const double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0,
+                         100.0}) {
+    scurve.AddRow({Cell(p, 0),
+                   Cell(stats::Percentile(cvs, p), 4)});
+  }
+  scurve.Print(std::cout);
+
+  PrintBanner(std::cout, "Findings 5 and 6 checks");
+  PrintCheck("fig07.p50_cv", 0.03, stats::Percentile(cvs, 50.0), 4);
+  PrintCheck("fig07.max_cv", 0.52, cvs.back(), 4);
+  PrintCheck("fig07.max_max_over_min", 3.5, max_ratio, 2);
+  PrintCheck(
+      "fig07.rows_with_vrd_under_all_combos", "97.1%",
+      Cell(100.0 * static_cast<double>(all_combo_count) /
+               static_cast<double>(rows.size()), 1) + "%");
+  PrintCheck(
+      "fig07.rows_with_vrd_under_some_combo", "100%",
+      Cell(100.0 * static_cast<double>(any_combo_count) /
+               static_cast<double>(rows.size()), 1) + "%");
+  return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Figure 8 (and its expanded version, Figure 25) / Findings 7-9:
+ * Monte Carlo analysis of identifying the minimum RDT. Top panel:
+ * distribution (across rows) of the probability of finding the series
+ * minimum with N = 1, 3, 5, 10, 50, 500 uniformly drawn measurements.
+ * Middle: distribution of the expected value of the minimum found,
+ * normalized to the series minimum. Bottom: the (probability, expected
+ * normalized minimum) scatter per row.
+ *
+ * Flags: --devices=all --rows=9 --measurements=1000 --iters=10000
+ *        --seed=2025
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "common/bench_util.h"
+#include "core/min_rdt_mc.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  core::CampaignConfig config;
+  config.devices = ResolveDevices(flags.GetString("devices", "all"));
+  config.rows_per_device =
+      static_cast<std::size_t>(flags.GetUint("rows", 9));
+  config.measurements =
+      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
+  config.base_seed = flags.GetUint("seed", 2025);
+  config.scan_rows_per_region =
+      static_cast<std::size_t>(flags.GetUint("scan", 96));
+
+  core::MinRdtSettings settings;
+  settings.iterations =
+      static_cast<std::size_t>(flags.GetUint("iters", 10000));
+
+  PrintBanner(std::cout,
+              "Figure 8: probability of finding the minimum RDT and "
+              "expected normalized minimum vs. N measurements");
+
+  const core::CampaignResult result = core::RunCampaign(config);
+  Rng rng(config.base_seed ^ 0xf18);
+
+  std::vector<std::vector<double>> prob_by_n(
+      settings.sample_sizes.size());
+  std::vector<std::vector<double>> norm_by_n(
+      settings.sample_sizes.size());
+  for (const core::SeriesRecord& record : result.records) {
+    const core::RowMinRdtResult mc =
+        core::AnalyzeRowSeries(record.series, settings, rng);
+    for (std::size_t i = 0; i < mc.per_n.size(); ++i) {
+      prob_by_n[i].push_back(mc.per_n[i].prob_find_min);
+      norm_by_n[i].push_back(mc.per_n[i].expected_norm_min);
+    }
+  }
+
+  PrintBanner(std::cout, "Top: P(find min RDT) across rows");
+  TextTable top({"N", "min", "Q1", "median", "Q3", "max", "mean"});
+  for (std::size_t i = 0; i < settings.sample_sizes.size(); ++i) {
+    AddBoxRow(top, Cell(static_cast<std::uint64_t>(
+                       settings.sample_sizes[i])),
+              Box(prob_by_n[i]), 4);
+  }
+  top.Print(std::cout);
+
+  PrintBanner(std::cout,
+              "Middle: expected normalized value of the minimum RDT");
+  TextTable mid({"N", "min", "Q1", "median", "Q3", "max", "mean"});
+  for (std::size_t i = 0; i < settings.sample_sizes.size(); ++i) {
+    AddBoxRow(mid, Cell(static_cast<std::uint64_t>(
+                       settings.sample_sizes[i])),
+              Box(norm_by_n[i]), 4);
+  }
+  mid.Print(std::cout);
+
+  PrintBanner(std::cout,
+              "Bottom (Fig. 25): per-row scatter summary for N = 1");
+  // Rows with low probability and high expected normalized minimum are
+  // the worst VRD rows (top-left corner in the paper's plot).
+  std::size_t low_prob_rows = 0;
+  std::size_t high_prob_rows = 0;
+  double worst_norm_low_prob = 1.0;
+  double sum_norm_low_prob = 0.0;
+  for (std::size_t r = 0; r < prob_by_n[0].size(); ++r) {
+    if (prob_by_n[0][r] <= 0.001) {
+      ++low_prob_rows;
+      worst_norm_low_prob =
+          std::max(worst_norm_low_prob, norm_by_n[0][r]);
+      sum_norm_low_prob += norm_by_n[0][r];
+    }
+    if (prob_by_n[0][r] >= 0.999) {
+      ++high_prob_rows;
+    }
+  }
+  const auto total_rows = static_cast<double>(prob_by_n[0].size());
+  std::cout << "rows analyzed: " << prob_by_n[0].size() << "\n";
+
+  PrintBanner(std::cout, "Findings 7-9 checks");
+  PrintCheck("fig08.p50_prob_find_min_n1", 0.002,
+             stats::Percentile(prob_by_n[0], 50.0), 4);
+  PrintCheck("fig08.p50_prob_find_min_n500", 0.753,
+             stats::Percentile(prob_by_n.back(), 50.0), 3);
+  PrintCheck("fig08.rows_with_prob_le_0.1pct_n1", "22.4%",
+             Cell(100.0 * static_cast<double>(low_prob_rows) /
+                      total_rows, 1) + "%");
+  PrintCheck("fig08.rows_with_prob_ge_99.9pct_n1", "5.4%",
+             Cell(100.0 * static_cast<double>(high_prob_rows) /
+                      total_rows, 1) + "%");
+  PrintCheck("fig08.worst_norm_min_among_low_prob_rows", 1.9,
+             worst_norm_low_prob, 2);
+  if (low_prob_rows > 0) {
+    PrintCheck("fig08.mean_norm_min_among_low_prob_rows", 1.1,
+               sum_norm_low_prob / static_cast<double>(low_prob_rows),
+               2);
+  }
+  return 0;
+}

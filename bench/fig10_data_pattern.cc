@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 10 / Findings 12-13: the expected normalized value of the
+ * minimum RDT after N measurements for the four Table 2 data patterns,
+ * grouped per manufacturer (and the HBM2 chips). No single data
+ * pattern causes the worst VRD profile across all chips.
+ *
+ * Flags: --rows=6 --measurements=1000 --iters=4000 --seed=2025
+ */
+#include <iostream>
+#include <map>
+
+#include "common/bench_util.h"
+#include "core/min_rdt_mc.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+namespace {
+
+std::string GroupName(const core::SeriesRecord& record) {
+  if (record.standard == dram::Standard::kHbm2) {
+    return "Mfr. S HBM2";
+  }
+  return ToString(record.mfr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  core::CampaignConfig config;
+  config.devices = ResolveDevices(flags.GetString("devices", "all"));
+  config.rows_per_device =
+      static_cast<std::size_t>(flags.GetUint("rows", 6));
+  config.measurements =
+      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
+  config.base_seed = flags.GetUint("seed", 2025);
+  config.scan_rows_per_region =
+      static_cast<std::size_t>(flags.GetUint("scan", 96));
+  config.patterns.assign(std::begin(dram::kAllDataPatterns),
+                         std::end(dram::kAllDataPatterns));
+
+  core::MinRdtSettings settings;
+  settings.iterations =
+      static_cast<std::size_t>(flags.GetUint("iters", 4000));
+
+  PrintBanner(std::cout,
+              "Figure 10: expected normalized min RDT per data "
+              "pattern and manufacturer");
+
+  const core::CampaignResult result = core::RunCampaign(config);
+  Rng rng(config.base_seed ^ 0xf1a);
+
+  // group -> pattern -> per-N list of expected normalized minima.
+  std::map<std::string,
+           std::map<dram::DataPattern, std::vector<std::vector<double>>>>
+      groups;
+  for (const core::SeriesRecord& record : result.records) {
+    const core::RowMinRdtResult mc =
+        core::AnalyzeRowSeries(record.series, settings, rng);
+    auto& per_pattern = groups[GroupName(record)][record.pattern];
+    if (per_pattern.empty()) {
+      per_pattern.resize(settings.sample_sizes.size());
+    }
+    for (std::size_t i = 0; i < mc.per_n.size(); ++i) {
+      per_pattern[i].push_back(mc.per_n[i].expected_norm_min);
+    }
+  }
+
+  TextTable table(
+      {"group", "pattern", "N", "median", "max", "mean"});
+  std::map<std::string, dram::DataPattern> worst_pattern;
+  std::map<std::string, double> worst_median;
+  for (const auto& [group, per_pattern] : groups) {
+    for (const auto& [pattern, per_n] : per_pattern) {
+      for (std::size_t i = 0; i < settings.sample_sizes.size(); ++i) {
+        if (per_n[i].empty()) {
+          continue;
+        }
+        const stats::BoxStats box = Box(per_n[i]);
+        table.AddRow(
+            {group, ToString(pattern),
+             Cell(static_cast<std::uint64_t>(settings.sample_sizes[i])),
+             Cell(box.median, 4), Cell(box.max, 4), Cell(box.mean, 4)});
+        if (settings.sample_sizes[i] == 1 &&
+            box.median > worst_median[group]) {
+          worst_median[group] = box.median;
+          worst_pattern[group] = pattern;
+        }
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Findings 12-13 checks");
+  std::map<dram::DataPattern, int> worst_counts;
+  for (const auto& [group, pattern] : worst_pattern) {
+    PrintCheck("fig10.worst_pattern." + group, "varies per mfr",
+               ToString(pattern));
+    ++worst_counts[pattern];
+  }
+  PrintCheck("fig10.single_worst_pattern_across_chips", "no",
+             worst_counts.size() > 1 ? "no" : "yes");
+  return 0;
+}

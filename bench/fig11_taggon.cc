@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 11 / Findings 14-15: the expected normalized value of the
+ * minimum RDT after N measurements for the three aggressor-on-time
+ * levels (minimum tRAS, tREFI, 9 x tREFI), per manufacturer. The VRD
+ * profile can become better or worse as tAggOn increases.
+ *
+ * Flags: --rows=6 --measurements=1000 --iters=4000 --seed=2025
+ */
+#include <iostream>
+#include <map>
+
+#include "common/bench_util.h"
+#include "core/min_rdt_mc.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+namespace {
+
+std::string GroupName(const core::SeriesRecord& record) {
+  if (record.standard == dram::Standard::kHbm2) {
+    return "Mfr. S HBM2";
+  }
+  return ToString(record.mfr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  core::CampaignConfig config;
+  config.devices = ResolveDevices(flags.GetString("devices", "all"));
+  config.rows_per_device =
+      static_cast<std::size_t>(flags.GetUint("rows", 6));
+  config.measurements =
+      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
+  config.base_seed = flags.GetUint("seed", 2025);
+  config.scan_rows_per_region =
+      static_cast<std::size_t>(flags.GetUint("scan", 96));
+  config.t_ons = {core::TOnChoice::kMinTras, core::TOnChoice::kTrefi,
+                  core::TOnChoice::kNineTrefi};
+
+  core::MinRdtSettings settings;
+  settings.iterations =
+      static_cast<std::size_t>(flags.GetUint("iters", 4000));
+
+  PrintBanner(std::cout,
+              "Figure 11: expected normalized min RDT per tAggOn and "
+              "manufacturer");
+
+  const core::CampaignResult result = core::RunCampaign(config);
+  Rng rng(config.base_seed ^ 0xf1b);
+
+  std::map<std::string,
+           std::map<core::TOnChoice, std::vector<std::vector<double>>>>
+      groups;
+  for (const core::SeriesRecord& record : result.records) {
+    const core::RowMinRdtResult mc =
+        core::AnalyzeRowSeries(record.series, settings, rng);
+    auto& per_ton = groups[GroupName(record)][record.t_on];
+    if (per_ton.empty()) {
+      per_ton.resize(settings.sample_sizes.size());
+    }
+    for (std::size_t i = 0; i < mc.per_n.size(); ++i) {
+      per_ton[i].push_back(mc.per_n[i].expected_norm_min);
+    }
+  }
+
+  TextTable table({"group", "tAggOn", "N", "median", "max", "mean"});
+  std::map<std::string, std::map<core::TOnChoice, double>> median_n1;
+  for (const auto& [group, per_ton_map] : groups) {
+    for (const auto& [ton, per_n] : per_ton_map) {
+      for (std::size_t i = 0; i < settings.sample_sizes.size(); ++i) {
+        if (per_n[i].empty()) {
+          continue;
+        }
+        const stats::BoxStats box = Box(per_n[i]);
+        table.AddRow(
+            {group, ToString(ton),
+             Cell(static_cast<std::uint64_t>(settings.sample_sizes[i])),
+             Cell(box.median, 4), Cell(box.max, 4), Cell(box.mean, 4)});
+        if (settings.sample_sizes[i] == 1) {
+          median_n1[group][ton] = box.median;
+        }
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Findings 14-15 checks");
+  for (const auto& [group, per_ton] : median_n1) {
+    if (per_ton.size() < 2) {
+      continue;
+    }
+    double mn = 2.0;
+    double mx = 0.0;
+    for (const auto& [ton, median] : per_ton) {
+      mn = std::min(mn, median);
+      mx = std::max(mx, median);
+    }
+    PrintCheck("fig11.profile_changes_with_taggon." + group,
+               "medians differ across tAggOn",
+               Cell(mn, 4) + " .. " + Cell(mx, 4));
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 12 / Finding 16: the expected normalized value of the minimum
+ * RDT with one RDT measurement at 50, 65, and 80 degC for six example
+ * chips (two per manufacturer), using the Rowstripe1 data pattern and
+ * tAggOn = minimum tRAS. The temperature sweep runs through the
+ * simulated heater-pad + PID rig.
+ *
+ * Flags: --devices=M0,M1,S0,S2,H1,H3 --rows=6 --measurements=1000
+ *        --iters=4000 --seed=2025 --rig=true
+ */
+#include <iostream>
+#include <map>
+
+#include "common/bench_util.h"
+#include "core/min_rdt_mc.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  core::CampaignConfig config;
+  config.devices =
+      ResolveDevices(flags.GetString("devices", "M0,M1,S0,S2,H1,H3"));
+  config.rows_per_device =
+      static_cast<std::size_t>(flags.GetUint("rows", 6));
+  config.measurements =
+      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
+  config.base_seed = flags.GetUint("seed", 2025);
+  config.scan_rows_per_region =
+      static_cast<std::size_t>(flags.GetUint("scan", 96));
+  config.patterns = {dram::DataPattern::kRowstripe1};
+  config.t_ons = {core::TOnChoice::kMinTras};
+  config.temperatures = {50.0, 65.0, 80.0};
+  config.use_thermal_rig = flags.GetBool("rig", true);
+
+  core::MinRdtSettings settings;
+  settings.sample_sizes = {1};
+  settings.iterations =
+      static_cast<std::size_t>(flags.GetUint("iters", 4000));
+
+  PrintBanner(std::cout,
+              "Figure 12: expected normalized min RDT (N = 1) vs. "
+              "temperature, Rowstripe1, tAggOn = min tRAS");
+
+  const core::CampaignResult result = core::RunCampaign(config);
+  Rng rng(config.base_seed ^ 0xf1c);
+
+  std::map<std::string, std::map<int, std::vector<double>>> groups;
+  for (const core::SeriesRecord& record : result.records) {
+    const core::RowMinRdtResult mc =
+        core::AnalyzeRowSeries(record.series, settings, rng);
+    groups[record.device][static_cast<int>(record.temperature)]
+        .push_back(mc.per_n[0].expected_norm_min);
+  }
+
+  TextTable table({"device", "temperature", "min", "Q1", "median",
+                   "Q3", "max", "mean"});
+  std::size_t devices_with_change = 0;
+  for (const auto& [device, per_temp] : groups) {
+    double lo_median = 10.0;
+    double hi_median = 0.0;
+    for (const auto& [temp, values] : per_temp) {
+      const stats::BoxStats box = Box(values);
+      table.AddRow({device, Cell(temp) + " degC", Cell(box.min, 4),
+                    Cell(box.q1, 4), Cell(box.median, 4),
+                    Cell(box.q3, 4), Cell(box.max, 4),
+                    Cell(box.mean, 4)});
+      lo_median = std::min(lo_median, box.median);
+      hi_median = std::max(hi_median, box.median);
+    }
+    if (hi_median > lo_median) {
+      ++devices_with_change;
+    }
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Finding 16 check");
+  PrintCheck("fig12.devices_whose_profile_changes_with_temperature",
+             "all",
+             Cell(static_cast<std::uint64_t>(devices_with_change)) +
+                 " of " +
+                 Cell(static_cast<std::uint64_t>(groups.size())));
+  return 0;
+}

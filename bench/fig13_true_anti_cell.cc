@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Figure 13 / Finding 17: coefficient of variation across 1,000 RDT
+ * measurements for rows with anti-cells vs. rows with true-cells in
+ * module M0, across data patterns, temperature levels, and aggressor
+ * row on times. The encoding of each row is reverse-engineered with
+ * the retention-based methodology (write 0x00 / 0xFF, pause refresh
+ * far beyond retention, observe the decay direction).
+ *
+ * Flags: --device=M0 --anti=12 --true=18 --measurements=1000
+ *        --seed=2025
+ */
+#include <iostream>
+#include <map>
+
+#include "bender/host.h"
+#include "common/bench_util.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string device_name = flags.GetString("device", "M0");
+  const auto want_anti =
+      static_cast<std::size_t>(flags.GetUint("anti", 12));
+  const auto want_true =
+      static_cast<std::size_t>(flags.GetUint("true", 18));
+  const auto measurements =
+      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
+  const std::uint64_t seed = flags.GetUint("seed", 2025);
+
+  PrintBanner(std::cout,
+              "Figure 13: CV of RDT for anti-cell vs. true-cell rows "
+              "(" + device_name + ")");
+
+  auto device = vrd::BuildDevice(device_name, seed);
+  bender::TestHost host(*device);
+  core::ProfilerConfig pc;
+  core::RdtProfiler profiler(*device, pc);
+
+  // Reverse-engineer row encodings until enough of each class is
+  // found; keep only rows that are also disturbance-vulnerable.
+  std::vector<std::pair<dram::RowAddr, dram::CellEncoding>> rows;
+  std::size_t anti_found = 0;
+  std::size_t true_found = 0;
+  Rng pick(seed ^ 0x13);
+  const dram::RowAddr last = device->org().LargestRowAddress();
+  for (int attempts = 0;
+       attempts < 4000 &&
+       (anti_found < want_anti || true_found < want_true);
+       ++attempts) {
+    const auto row = static_cast<dram::RowAddr>(
+        1 + pick.NextBelow(last - 1));
+    const dram::PhysicalRow phys = device->mapper().ToPhysical(row);
+    if (phys.value == 0 || phys.value >= last) {
+      continue;
+    }
+    const auto encoding =
+        host.DiscoverRowEncoding(0, row, 1800 * units::kSecond);
+    if (!encoding) {
+      continue;  // no retention-weak cell betrays this row
+    }
+    if (*encoding == dram::CellEncoding::kAntiCell &&
+        anti_found >= want_anti) {
+      continue;
+    }
+    if (*encoding == dram::CellEncoding::kTrueCell &&
+        true_found >= want_true) {
+      continue;
+    }
+    if (!profiler.GuessRdt(row)) {
+      continue;  // not disturbance-vulnerable under the base setup
+    }
+    rows.emplace_back(row, *encoding);
+    (*encoding == dram::CellEncoding::kAntiCell ? anti_found
+                                                : true_found)++;
+  }
+  std::cout << "rows: " << anti_found << " anti-cell, " << true_found
+            << " true-cell\n";
+
+  // CV per (row, sweep dimension): patterns at 50 degC / min tRAS;
+  // temperatures with Rowstripe1; tAggOn values with Rowstripe1.
+  struct Sweep {
+    std::string subplot;
+    dram::DataPattern pattern;
+    core::TOnChoice t_on;
+    Celsius temp;
+  };
+  std::vector<Sweep> sweeps;
+  for (const dram::DataPattern p : dram::kAllDataPatterns) {
+    sweeps.push_back({"data pattern", p, core::TOnChoice::kMinTras,
+                      50.0});
+  }
+  for (const Celsius t : {50.0, 65.0, 80.0}) {
+    sweeps.push_back({"temperature", dram::DataPattern::kRowstripe1,
+                      core::TOnChoice::kMinTras, t});
+  }
+  for (const core::TOnChoice t :
+       {core::TOnChoice::kMinTras, core::TOnChoice::kTrefi,
+        core::TOnChoice::kNineTrefi}) {
+    sweeps.push_back(
+        {"tAggOn", dram::DataPattern::kRowstripe1, t, 50.0});
+  }
+
+  std::map<std::string, std::map<bool, std::vector<double>>> cv;
+  for (const Sweep& sweep : sweeps) {
+    device->SetTemperature(sweep.temp);
+    core::ProfilerConfig spc;
+    spc.pattern = sweep.pattern;
+    spc.t_on = core::ResolveTOn(sweep.t_on, device->timing());
+    core::RdtProfiler sweep_profiler(*device, spc);
+    for (const auto& [row, encoding] : rows) {
+      const auto guess = sweep_profiler.GuessRdt(row);
+      if (!guess) {
+        continue;
+      }
+      const auto series =
+          sweep_profiler.MeasureSeries(row, *guess, measurements);
+      const auto analysis = core::AnalyzeSeries(series, 1);
+      cv[sweep.subplot]
+        [encoding == dram::CellEncoding::kAntiCell]
+            .push_back(analysis.cv);
+    }
+  }
+
+  TextTable table({"subplot", "cell type", "min", "Q1", "median", "Q3",
+                   "max", "mean"});
+  std::map<std::string, std::pair<double, double>> medians;
+  for (const auto& [subplot, per_class] : cv) {
+    for (const auto& [is_anti, values] : per_class) {
+      const stats::BoxStats box = Box(values);
+      table.AddRow({subplot, is_anti ? "anti-cell" : "true-cell",
+                    Cell(box.min, 4), Cell(box.q1, 4),
+                    Cell(box.median, 4), Cell(box.q3, 4),
+                    Cell(box.max, 4), Cell(box.mean, 4)});
+      if (is_anti) {
+        medians[subplot].first = box.median;
+      } else {
+        medians[subplot].second = box.median;
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Finding 17 check");
+  for (const auto& [subplot, pair] : medians) {
+    const double ratio =
+        (pair.second > 0.0) ? pair.first / pair.second : 0.0;
+    PrintCheck("fig13.anti_vs_true_median_cv_ratio." + subplot,
+               "~1 (no significant difference)", ratio, 2);
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Figure 14 / §6.3: four-core highly-memory-intensive workload
+ * performance under Graphene, PRAC, PARA, and MINT, normalized to the
+ * baseline system without read-disturbance mitigation, for two
+ * threshold regimes (near-future RDT = 1024 and very-low RDT = 128)
+ * each with 0%, 10%, 25%, and 50% safety margins.
+ *
+ * Flags: --requests=20000 --mixes=15 --seed=2025
+ */
+#include <iostream>
+#include <map>
+
+#include "common/bench_util.h"
+#include "memsim/system.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+using namespace vrddram::memsim;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto requests =
+      static_cast<std::size_t>(flags.GetUint("requests", 20000));
+  const auto num_mixes =
+      static_cast<std::size_t>(flags.GetUint("mixes", 15));
+  const std::uint64_t seed = flags.GetUint("seed", 2025);
+  const Scheduler scheduler = flags.GetBool("frfcfs", false)
+                                  ? Scheduler::kFrFcfs
+                                  : Scheduler::kInOrder;
+
+  PrintBanner(std::cout,
+              "Figure 14: normalized performance of read-disturbance "
+              "mitigations vs. configured RDT and guardband");
+
+  struct Config {
+    std::uint64_t base_rdt;
+    double margin;
+  };
+  const Config configs[] = {{1024, 0.0},  {1024, 0.10}, {1024, 0.25},
+                            {1024, 0.50}, {128, 0.0},   {128, 0.10},
+                            {128, 0.25},  {128, 0.50}};
+  const MitigationKind kinds[] = {
+      MitigationKind::kGraphene, MitigationKind::kPrac,
+      MitigationKind::kPara, MitigationKind::kMint};
+
+  auto mixes = MakeHighMemoryIntensityMixes(42);
+  if (mixes.size() > num_mixes) {
+    mixes.resize(num_mixes);
+  }
+
+  // Baseline per mix.
+  std::vector<SystemResult> baselines;
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    SystemConfig sc;
+    sc.requests_per_core = requests;
+    sc.seed = seed + m;
+    sc.scheduler = scheduler;
+    baselines.push_back(SimulateMix(mixes[m], sc));
+  }
+
+  TextTable table({"RDT (margin)", "configured", "Graphene", "PRAC",
+                   "PARA", "MINT"});
+  std::map<std::pair<int, int>, double> cell;  // (config idx, kind idx)
+  for (std::size_t c = 0; c < std::size(configs); ++c) {
+    const auto configured = static_cast<std::uint64_t>(
+        static_cast<double>(configs[c].base_rdt) *
+        (1.0 - configs[c].margin));
+    std::vector<std::string> row = {
+        Cell(configs[c].base_rdt) + " (" +
+            Cell(configs[c].margin * 100.0, 0) + "%)",
+        Cell(configured)};
+    for (std::size_t k = 0; k < std::size(kinds); ++k) {
+      double sum = 0.0;
+      for (std::size_t m = 0; m < mixes.size(); ++m) {
+        SystemConfig sc;
+        sc.requests_per_core = requests;
+        sc.seed = seed + m;
+        sc.scheduler = scheduler;
+        sc.mitigation = kinds[k];
+        sc.rdt = configured;
+        const SystemResult result = SimulateMix(mixes[m], sc);
+        sum += NormalizedPerformance(result, baselines[m]);
+      }
+      const double mean = sum / static_cast<double>(mixes.size());
+      cell[{static_cast<int>(c), static_cast<int>(k)}] = mean;
+      row.push_back(Cell(mean, 3));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  // Tail-latency view of the worst configuration.
+  {
+    SystemConfig sc;
+    sc.requests_per_core = requests;
+    sc.seed = seed;
+    sc.scheduler = scheduler;
+    const SystemResult base = SimulateMix(mixes[0], sc);
+    sc.mitigation = MitigationKind::kMint;
+    sc.rdt = 64;
+    const SystemResult worst = SimulateMix(mixes[0], sc);
+    PrintBanner(std::cout, "Latency (mix0): baseline vs MINT @ RDT 64");
+    TextTable latency({"config", "avg (ns)", "p50 (ns)", "p99 (ns)"});
+    latency.AddRow({"baseline", Cell(base.AvgLatencyNs(), 1),
+                    Cell(base.LatencyPercentileNs(50.0), 1),
+                    Cell(base.LatencyPercentileNs(99.0), 1)});
+    latency.AddRow({"MINT @ 64", Cell(worst.AvgLatencyNs(), 1),
+                    Cell(worst.LatencyPercentileNs(50.0), 1),
+                    Cell(worst.LatencyPercentileNs(99.0), 1)});
+    latency.Print(std::cout);
+  }
+
+  PrintBanner(std::cout, "§6.3 checks (losses relative to no margin)");
+  auto loss_vs_margin0 = [&](int kind, int margin_cfg, int base_cfg) {
+    return 100.0 * (1.0 - cell[{margin_cfg, kind}] /
+                              cell[{base_cfg, kind}]);
+  };
+  // At RDT = 128: 10% margin costs Graphene 1.0%, PRAC 0.0%,
+  // PARA 5.9%, MINT 0.0%; 50% margin costs 8.5 / 7.6 / 35.0 / 45.0%.
+  PrintCheck("fig14.rdt128_margin10.graphene_loss_pct", 1.0,
+             loss_vs_margin0(0, 5, 4), 1);
+  PrintCheck("fig14.rdt128_margin10.prac_loss_pct", 0.0,
+             loss_vs_margin0(1, 5, 4), 1);
+  PrintCheck("fig14.rdt128_margin10.para_loss_pct", 5.9,
+             loss_vs_margin0(2, 5, 4), 1);
+  PrintCheck("fig14.rdt128_margin10.mint_loss_pct", 0.0,
+             loss_vs_margin0(3, 5, 4), 1);
+  PrintCheck("fig14.rdt128_margin50.graphene_loss_pct", 8.5,
+             loss_vs_margin0(0, 7, 4), 1);
+  PrintCheck("fig14.rdt128_margin50.prac_loss_pct", 7.6,
+             loss_vs_margin0(1, 7, 4), 1);
+  PrintCheck("fig14.rdt128_margin50.para_loss_pct", 35.0,
+             loss_vs_margin0(2, 7, 4), 1);
+  PrintCheck("fig14.rdt128_margin50.mint_loss_pct", 45.0,
+             loss_vs_margin0(3, 7, 4), 1);
+  return 0;
+}

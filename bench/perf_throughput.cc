@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Throughput microbenchmarks (google-benchmark): how fast the
+ * simulation substrate itself runs - analytic vs. bulk vs.
+ * command-level RDT measurements, raw fault-engine queries, and
+ * memory-system events. These quantify why the analytic fast path is
+ * what makes 100,000-measurement campaigns tractable.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/rdt_profiler.h"
+#include "memsim/system.h"
+#include "vrd/chip_catalog.h"
+
+namespace {
+
+using namespace vrddram;
+
+struct ProfilerFixture {
+  ProfilerFixture(core::SweepMode mode) {
+    device = vrd::BuildDevice("M1");
+    core::ProfilerConfig pc;
+    pc.mode = mode;
+    profiler = std::make_unique<core::RdtProfiler>(*device, pc);
+    core::ProfilerConfig seed_pc;
+    core::RdtProfiler seeder(*device, seed_pc);
+    const auto found = seeder.FindVictim(1, 4000);
+    victim = found->row;
+    guess = found->rdt_guess;
+  }
+  std::unique_ptr<dram::Device> device;
+  std::unique_ptr<core::RdtProfiler> profiler;
+  dram::RowAddr victim = 0;
+  std::uint64_t guess = 0;
+};
+
+void BM_MeasurementAnalytic(benchmark::State& state) {
+  ProfilerFixture fx(core::SweepMode::kAnalytic);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.profiler->MeasureOnce(fx.victim, fx.guess));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeasurementAnalytic);
+
+void BM_MeasurementBulk(benchmark::State& state) {
+  ProfilerFixture fx(core::SweepMode::kBulk);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.profiler->MeasureOnce(fx.victim, fx.guess));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeasurementBulk);
+
+void BM_EngineQuery(benchmark::State& state) {
+  auto device = vrd::BuildDevice("M1");
+  auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());
+  const dram::PhysicalRow row{100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->MinFlipHammerCount(
+        0, row, 0x55, 0xAA, device->timing().tRAS, 50.0,
+        device->encoding(), device->Now()));
+    device->Sleep(units::kMillisecond);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineQuery);
+
+void BM_MemsimRequests(benchmark::State& state) {
+  const auto mixes = memsim::MakeHighMemoryIntensityMixes();
+  for (auto _ : state) {
+    memsim::SystemConfig config;
+    config.requests_per_core = 2000;
+    benchmark::DoNotOptimize(memsim::SimulateMix(mixes[0], config));
+  }
+  state.SetItemsProcessed(state.iterations() * 8000);
+}
+BENCHMARK(BM_MemsimRequests);
+
+}  // namespace

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Spatial variation of RDT across rows (the premise the paper builds
+ * on, [134]): the per-row minimum RDT measured once per row across a
+ * bank region, as an S-curve. This is what makes exhaustive per-row
+ * profiling necessary in the first place - and what VRD then shows to
+ * be insufficient even per row.
+ *
+ * Flags: --device=M1 --rows=2048 --seed=2025
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "common/bench_util.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string device_name = flags.GetString("device", "M1");
+  const auto rows = flags.GetUint("rows", 2048);
+  const std::uint64_t seed = flags.GetUint("seed", 2025);
+
+  auto device = vrd::BuildDevice(device_name, seed);
+  auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());
+
+  PrintBanner(std::cout, "Spatial variation of RDT across the first " +
+                             Cell(rows) + " rows of " + device_name);
+
+  std::vector<double> rdts;
+  std::size_t invulnerable = 0;
+  const dram::RowAddr last = device->org().LargestRowAddress();
+  for (dram::RowAddr row = 1; row < rows && row < last; ++row) {
+    const double rdt = engine->MinFlipHammerCount(
+        0, device->mapper().ToPhysical(row), 0x55, 0xAA,
+        device->timing().tRAS, 50.0, device->encoding(),
+        device->Now());
+    device->Sleep(units::kMillisecond);
+    if (rdt > 0.0) {
+      rdts.push_back(rdt);
+    } else {
+      ++invulnerable;
+    }
+  }
+
+  TextTable table({"percentile of rows", "RDT"});
+  for (const double p :
+       {0.0, 1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    table.AddRow({Cell(p, 0), Cell(stats::Percentile(rdts, p), 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nrows with no disturbance-prone cell: " << invulnerable
+            << " of " << rows << "\n";
+  PrintCheck("spatial.p100_over_p0",
+             "order-of-magnitude spread across rows ([134])",
+             stats::Percentile(rdts, 100.0) /
+                 stats::Percentile(rdts, 0.0),
+             1);
+  return 0;
+}

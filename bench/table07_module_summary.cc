@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Table 7 (Appendix B): per-module summary - the median and maximum
+ * expected normalized value of the minimum RDT across rows for
+ * N = 1, 5, 50, 500 measurements, and the minimum observed RDT across
+ * all measurements for tAggOn = tRAS and tAggOn = tREFI.
+ *
+ * Flags: --devices=all --rows=6 --measurements=1000 --iters=4000
+ *        --seed=2025
+ */
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common/bench_util.h"
+#include "core/min_rdt_mc.h"
+
+using namespace vrddram;
+using namespace vrddram::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  core::CampaignConfig config;
+  config.devices = ResolveDevices(flags.GetString("devices", "all"));
+  config.rows_per_device =
+      static_cast<std::size_t>(flags.GetUint("rows", 6));
+  config.measurements =
+      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
+  config.base_seed = flags.GetUint("seed", 2025);
+  config.scan_rows_per_region =
+      static_cast<std::size_t>(flags.GetUint("scan", 96));
+  config.t_ons = {core::TOnChoice::kMinTras, core::TOnChoice::kTrefi};
+
+  core::MinRdtSettings settings;
+  settings.sample_sizes = {1, 5, 50, 500};
+  settings.iterations =
+      static_cast<std::size_t>(flags.GetUint("iters", 4000));
+
+  PrintBanner(std::cout, "Table 7: per-module VRD summary");
+
+  const core::CampaignResult result = core::RunCampaign(config);
+  Rng rng(config.base_seed ^ 0x707);
+
+  struct ModuleAgg {
+    std::vector<std::vector<double>> norm_by_n;  // per N
+    std::int64_t min_rdt_tras = -1;
+    std::int64_t min_rdt_trefi = -1;
+  };
+  std::map<std::string, ModuleAgg> modules;
+  for (const core::SeriesRecord& record : result.records) {
+    ModuleAgg& agg = modules[record.device];
+    if (agg.norm_by_n.empty()) {
+      agg.norm_by_n.resize(settings.sample_sizes.size());
+    }
+    const core::RowMinRdtResult mc =
+        core::AnalyzeRowSeries(record.series, settings, rng);
+    for (std::size_t i = 0; i < mc.per_n.size(); ++i) {
+      agg.norm_by_n[i].push_back(mc.per_n[i].expected_norm_min);
+    }
+    std::int64_t series_min = -1;
+    for (const std::int64_t v : record.series) {
+      if (v >= 0 && (series_min < 0 || v < series_min)) {
+        series_min = v;
+      }
+    }
+    std::int64_t& slot = (record.t_on == core::TOnChoice::kMinTras)
+                             ? agg.min_rdt_tras
+                             : agg.min_rdt_trefi;
+    if (series_min >= 0 && (slot < 0 || series_min < slot)) {
+      slot = series_min;
+    }
+  }
+
+  TextTable table({"module", "N=1 med", "N=1 max", "N=5 med",
+                   "N=5 max", "N=50 med", "N=50 max", "N=500 med",
+                   "N=500 max", "minRDT tRAS", "minRDT tREFI"});
+  for (const std::string& name : config.devices) {
+    const auto it = modules.find(name);
+    if (it == modules.end()) {
+      continue;
+    }
+    const ModuleAgg& agg = it->second;
+    std::vector<std::string> row = {name};
+    for (std::size_t i = 0; i < settings.sample_sizes.size(); ++i) {
+      const stats::BoxStats box = Box(agg.norm_by_n[i]);
+      row.push_back(Cell(box.median, 2));
+      row.push_back(Cell(box.max, 2));
+    }
+    row.push_back(Cell(agg.min_rdt_tras));
+    row.push_back(Cell(agg.min_rdt_trefi));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout, "Table 7 spot checks");
+  auto spot = [&](const std::string& name, double paper_med_n1,
+                  std::int64_t paper_min_tras,
+                  std::int64_t paper_min_trefi) {
+    const auto it = modules.find(name);
+    if (it == modules.end()) {
+      return;
+    }
+    PrintCheck("table07." + name + ".median_n1", paper_med_n1,
+               Box(it->second.norm_by_n[0]).median, 2);
+    PrintCheck("table07." + name + ".min_rdt_tras",
+               Cell(paper_min_tras), Cell(it->second.min_rdt_tras));
+    PrintCheck("table07." + name + ".min_rdt_trefi",
+               Cell(paper_min_trefi), Cell(it->second.min_rdt_trefi));
+  };
+  spot("H1", 1.07, 7835, 1941);
+  spot("M1", 1.08, 4250, 1796);
+  spot("S0", 1.04, 12152, 1965);
+  spot("Chip0", 1.05, 45136, 1244);
+  return 0;
+}

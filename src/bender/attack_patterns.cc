@@ -1,0 +1,106 @@
+#include "bender/attack_patterns.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace vrddram::bender {
+
+std::string ToString(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kSingleSided: return "single-sided";
+    case AttackKind::kDoubleSided: return "double-sided";
+    case AttackKind::kManySided: return "many-sided";
+  }
+  throw PanicError("unknown attack kind");
+}
+
+AttackPlan PlanAttack(const dram::Device& device, AttackKind kind,
+                      dram::RowAddr victim_logical,
+                      std::uint64_t hammers_per_aggressor,
+                      std::uint32_t sides) {
+  VRD_FATAL_IF(hammers_per_aggressor == 0, "need at least one hammer");
+  const dram::PhysicalRow victim =
+      device.mapper().ToPhysical(victim_logical);
+  const auto last =
+      static_cast<std::int64_t>(device.org().LargestRowAddress());
+
+  AttackPlan plan;
+  plan.kind = kind;
+  plan.victim_logical = victim_logical;
+  plan.hammers_per_aggressor = hammers_per_aggressor;
+
+  std::vector<std::int64_t> offsets;
+  switch (kind) {
+    case AttackKind::kSingleSided:
+      offsets = {+1};
+      break;
+    case AttackKind::kDoubleSided:
+      offsets = {-1, +1};
+      break;
+    case AttackKind::kManySided: {
+      VRD_FATAL_IF(sides < 2, "many-sided needs at least two aggressors");
+      // Aggressors at +-1, +-3, +-5, ... - every other row, so each
+      // in-between row is double-sided hammered.
+      std::int64_t distance = 1;
+      while (offsets.size() < sides) {
+        offsets.push_back(-distance);
+        if (offsets.size() < sides) {
+          offsets.push_back(+distance);
+        }
+        distance += 2;
+      }
+      break;
+    }
+  }
+
+  for (const std::int64_t offset : offsets) {
+    const std::int64_t target =
+        static_cast<std::int64_t>(victim.value) + offset;
+    VRD_FATAL_IF(target < 0 || target > last,
+                 "victim too close to the bank edge for this pattern");
+    plan.aggressors.push_back(device.mapper().ToLogical(
+        dram::PhysicalRow{static_cast<dram::RowAddr>(target)}));
+  }
+  return plan;
+}
+
+void ExecuteAttack(dram::Device& device, dram::BankId bank,
+                   const AttackPlan& plan, Tick t_on) {
+  VRD_FATAL_IF(plan.aggressors.empty(), "empty attack plan");
+  if (plan.kind == AttackKind::kDoubleSided) {
+    device.HammerDoubleSided(bank, plan.victim_logical,
+                             plan.hammers_per_aggressor, t_on);
+    return;
+  }
+  for (const dram::RowAddr aggressor : plan.aggressors) {
+    device.HammerSingleSided(bank, aggressor,
+                             plan.hammers_per_aggressor, t_on);
+  }
+}
+
+TestProgram CompileAttack(const dram::Device& device, dram::BankId bank,
+                          const AttackPlan& plan, Tick t_on) {
+  VRD_FATAL_IF(plan.aggressors.empty(), "empty attack plan");
+  VRD_FATAL_IF(t_on < device.timing().tRAS,
+               "tAggOn below the minimum tRAS");
+  VRD_FATAL_IF(plan.hammers_per_aggressor >
+                   std::numeric_limits<std::uint32_t>::max(),
+               "hammer count exceeds the loop register width");
+  const Tick hold = (t_on > device.timing().tRAS) ? t_on : 0;
+
+  TestProgram program;
+  program.Loop(
+      static_cast<std::uint32_t>(plan.hammers_per_aggressor));
+  for (const dram::RowAddr aggressor : plan.aggressors) {
+    program.Act(bank, aggressor);
+    if (hold > 0) {
+      program.Sleep(hold);
+    }
+    program.Pre(bank);
+  }
+  program.EndLoop();
+  return program;
+}
+
+}  // namespace vrddram::bender

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Read-disturbance access-pattern library: generators for the hammering
+ * patterns the RowHammer literature uses - single-sided, the paper's
+ * double-sided (§3.1), and many-sided ("n-sided" TRR-bypass patterns a
+ * la TRRespass [39]) - both as bulk device operations and as explicit
+ * DRAM-Bender test programs.
+ */
+#ifndef VRDDRAM_BENDER_ATTACK_PATTERNS_H
+#define VRDDRAM_BENDER_ATTACK_PATTERNS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bender/test_program.h"
+#include "dram/device.h"
+
+namespace vrddram::bender {
+
+enum class AttackKind : std::uint8_t {
+  kSingleSided,  ///< one aggressor next to the victim
+  kDoubleSided,  ///< both physical neighbours (the paper's pattern)
+  kManySided,    ///< n aggressor pairs around decoy victims
+};
+
+std::string ToString(AttackKind kind);
+
+/// A resolved attack: the aggressor rows to activate, in order.
+struct AttackPlan {
+  AttackKind kind = AttackKind::kDoubleSided;
+  dram::RowAddr victim_logical = 0;
+  /// Logical addresses of the aggressor rows, in activation order.
+  std::vector<dram::RowAddr> aggressors;
+  /// Activations per aggressor ("hammer count" convention).
+  std::uint64_t hammers_per_aggressor = 0;
+};
+
+/**
+ * Plan an attack around `victim_logical`. For kManySided, `sides`
+ * aggressor rows are chosen at physical distances +-1, +-3, +-5, ...
+ * (hammering every other row, the classic TRR-evasion layout).
+ * Throws if the victim sits too close to the bank edge.
+ */
+AttackPlan PlanAttack(const dram::Device& device, AttackKind kind,
+                      dram::RowAddr victim_logical,
+                      std::uint64_t hammers_per_aggressor,
+                      std::uint32_t sides = 4);
+
+/**
+ * Execute a plan through the device's bulk fast paths. The aggressors
+ * are hammered in a round-robin order, `hammers_per_aggressor` times
+ * each, holding each activation open for `t_on`.
+ */
+void ExecuteAttack(dram::Device& device, dram::BankId bank,
+                   const AttackPlan& plan, Tick t_on);
+
+/**
+ * Compile a plan into an explicit command-level TestProgram (ACT /
+ * optional Sleep / PRE per activation, wrapped in a hardware loop).
+ */
+TestProgram CompileAttack(const dram::Device& device, dram::BankId bank,
+                          const AttackPlan& plan, Tick t_on);
+
+}  // namespace vrddram::bender
+
+#endif  // VRDDRAM_BENDER_ATTACK_PATTERNS_H

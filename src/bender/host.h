@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Host-side testing API in the style of DRAM Bender / SoftMC: a
+ * ProgramRunner that executes TestPrograms on a device, and a TestHost
+ * with the paper's methodology building blocks - neighbourhood
+ * initialization per Table 2, double-sided hammering, read-and-compare,
+ * row-mapping reverse engineering, and true-/anti-cell discovery.
+ */
+#ifndef VRDDRAM_BENDER_HOST_H
+#define VRDDRAM_BENDER_HOST_H
+
+#include <optional>
+#include <vector>
+
+#include "bender/test_program.h"
+#include "dram/device.h"
+
+namespace vrddram::bender {
+
+/// Executes a validated TestProgram against a device.
+class ProgramRunner {
+ public:
+  explicit ProgramRunner(dram::Device& device,
+                         Platform platform = MakeAlveoU200())
+      : device_(&device), platform_(std::move(platform)) {}
+
+  ExecutionResult Run(const TestProgram& program);
+
+ private:
+  dram::Device* device_;
+  Platform platform_;
+};
+
+/**
+ * High-level testing operations composed from device commands; these
+ * are the primitives Alg. 1 and the §5/§6 sweeps are written against.
+ */
+class TestHost {
+ public:
+  explicit TestHost(dram::Device& device) : device_(&device) {}
+
+  dram::Device& device() { return *device_; }
+
+  /**
+   * Alg. 1's initialize_rows: write the victim's physical row, the two
+   * physical aggressors (V +- 1), and the surrounding rows V +- [2:8]
+   * with the Table 2 bytes of `pattern`. Rows outside the bank are
+   * skipped (edge victims are not used by the methodology anyway).
+   */
+  void InitializeNeighborhood(dram::BankId bank,
+                              dram::RowAddr victim_logical,
+                              dram::DataPattern pattern);
+
+  /// Double-sided hammer with `hammer_count` activations per aggressor.
+  void HammerDoubleSided(dram::BankId bank, dram::RowAddr victim_logical,
+                         std::uint64_t hammer_count, Tick t_on);
+
+  /// Read the victim row and diff it against its expected pattern byte.
+  std::vector<dram::BitFlip> ReadAndCompareVictim(
+      dram::BankId bank, dram::RowAddr victim_logical,
+      dram::DataPattern pattern);
+
+  /**
+   * One read-disturbance test iteration (Alg. 1 lines 19-21):
+   * initialize, hammer with `hammer_count`, read and compare. Returns
+   * the observed bitflips (empty = no flip at this hammer count).
+   */
+  std::vector<dram::BitFlip> TestOnce(dram::BankId bank,
+                                      dram::RowAddr victim_logical,
+                                      dram::DataPattern pattern,
+                                      std::uint64_t hammer_count,
+                                      Tick t_on);
+
+  /**
+   * Command-exact variant of TestOnce executed through a TestProgram
+   * (every ACT/PRE issued individually). Used to validate that the
+   * bulk fast path is behaviourally identical; impractically slow for
+   * full campaigns, exactly like issuing individual commands from the
+   * host would be.
+   */
+  std::vector<dram::BitFlip> TestOnceExact(dram::BankId bank,
+                                           dram::RowAddr victim_logical,
+                                           dram::DataPattern pattern,
+                                           std::uint64_t hammer_count,
+                                           Tick t_on);
+
+  /**
+   * Row-mapping reverse engineering ([166], §3.1): hammer
+   * `victim_logical` single-sided and report which logical rows in a
+   * +-`window` window around it flip - those are its physical
+   * neighbours. Returns flipped logical rows sorted by flip count.
+   */
+  std::vector<dram::RowAddr> FindPhysicalNeighbors(
+      dram::BankId bank, dram::RowAddr victim_logical,
+      std::uint64_t hammer_count, dram::RowAddr window = 8);
+
+  /**
+   * True-/anti-cell discovery ([1, 214, 215], §5.6): write all-zeros,
+   * pause refresh far beyond the retention time, and observe the decay
+   * direction; then repeat with all-ones. Returns nullopt if the row
+   * has no retention-weak cell to betray its encoding.
+   */
+  std::optional<dram::CellEncoding> DiscoverRowEncoding(
+      dram::BankId bank, dram::RowAddr logical_row, Tick wait);
+
+ private:
+  dram::Device* device_;
+};
+
+}  // namespace vrddram::bender
+
+#endif  // VRDDRAM_BENDER_HOST_H

@@ -1,0 +1,93 @@
+#include "bender/test_program.h"
+
+#include "common/error.h"
+
+namespace vrddram::bender {
+
+Platform MakeAlveoU200() { return Platform{"alveo-u200", 8192, 4}; }
+Platform MakeAlveoU50() { return Platform{"alveo-u50", 8192, 4}; }
+Platform MakeXupvvh() { return Platform{"xupvvh", 8192, 4}; }
+
+TestProgram& TestProgram::Act(dram::BankId bank, dram::RowAddr row) {
+  Instruction inst;
+  inst.op = Opcode::kAct;
+  inst.bank = bank;
+  inst.row = row;
+  instructions_.push_back(inst);
+  return *this;
+}
+
+TestProgram& TestProgram::Pre(dram::BankId bank) {
+  Instruction inst;
+  inst.op = Opcode::kPre;
+  inst.bank = bank;
+  instructions_.push_back(inst);
+  return *this;
+}
+
+TestProgram& TestProgram::WriteRow(dram::BankId bank, dram::RowAddr row,
+                                   std::uint8_t fill) {
+  Instruction inst;
+  inst.op = Opcode::kWriteRow;
+  inst.bank = bank;
+  inst.row = row;
+  inst.fill = fill;
+  instructions_.push_back(inst);
+  return *this;
+}
+
+TestProgram& TestProgram::ReadRow(dram::BankId bank, dram::RowAddr row) {
+  Instruction inst;
+  inst.op = Opcode::kReadRow;
+  inst.bank = bank;
+  inst.row = row;
+  instructions_.push_back(inst);
+  return *this;
+}
+
+TestProgram& TestProgram::Sleep(Tick duration) {
+  VRD_FATAL_IF(duration < 0, "cannot sleep a negative duration");
+  Instruction inst;
+  inst.op = Opcode::kSleep;
+  inst.duration = duration;
+  instructions_.push_back(inst);
+  return *this;
+}
+
+TestProgram& TestProgram::Loop(std::uint32_t count) {
+  VRD_FATAL_IF(count == 0, "loop count must be positive");
+  Instruction inst;
+  inst.op = Opcode::kLoop;
+  inst.count = count;
+  instructions_.push_back(inst);
+  return *this;
+}
+
+TestProgram& TestProgram::EndLoop() {
+  Instruction inst;
+  inst.op = Opcode::kEndLoop;
+  instructions_.push_back(inst);
+  return *this;
+}
+
+void TestProgram::Validate(const Platform& platform) const {
+  VRD_FATAL_IF(instructions_.empty(), "empty test program");
+  VRD_FATAL_IF(instructions_.size() > platform.max_instructions,
+               "program exceeds the platform's instruction memory");
+  std::size_t depth = 0;
+  std::size_t max_depth = 0;
+  for (const Instruction& inst : instructions_) {
+    if (inst.op == Opcode::kLoop) {
+      ++depth;
+      max_depth = std::max(max_depth, depth);
+    } else if (inst.op == Opcode::kEndLoop) {
+      VRD_FATAL_IF(depth == 0, "EndLoop without a matching Loop");
+      --depth;
+    }
+  }
+  VRD_FATAL_IF(depth != 0, "unterminated Loop");
+  VRD_FATAL_IF(max_depth > platform.max_loop_depth,
+               "loop nesting exceeds the platform limit");
+}
+
+}  // namespace vrddram::bender

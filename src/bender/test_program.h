@@ -1,0 +1,92 @@
+/**
+ * @file
+ * DRAM-Bender-style programmable test programs (§3: the paper's
+ * infrastructure executes host-generated programs on an FPGA). A
+ * TestProgram is a small instruction sequence - ACT/PRE/WR/RD/SLEEP
+ * plus hardware loops - validated against platform limits and executed
+ * against a dram::Device by ProgramRunner.
+ */
+#ifndef VRDDRAM_BENDER_TEST_PROGRAM_H
+#define VRDDRAM_BENDER_TEST_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dram/types.h"
+
+namespace vrddram::bender {
+
+enum class Opcode : std::uint8_t {
+  kAct,       ///< activate (bank, row)
+  kPre,       ///< precharge (bank)
+  kWriteRow,  ///< fill the open row with a byte
+  kReadRow,   ///< read the open row; captured into the result
+  kSleep,     ///< idle the command bus
+  kLoop,      ///< begin a loop executed `count` times
+  kEndLoop,   ///< end of the innermost loop
+};
+
+struct Instruction {
+  Opcode op = Opcode::kSleep;
+  dram::BankId bank = 0;
+  dram::RowAddr row = 0;
+  std::uint8_t fill = 0;
+  Tick duration = 0;
+  std::uint32_t count = 0;
+};
+
+/// FPGA platform limits (metadata of the boards the paper uses).
+struct Platform {
+  std::string name = "alveo-u200";
+  std::size_t max_instructions = 8192;
+  std::size_t max_loop_depth = 4;
+};
+
+Platform MakeAlveoU200();   ///< DDR4 testing board
+Platform MakeAlveoU50();    ///< HBM2 testing board
+Platform MakeXupvvh();      ///< HBM2 testing board
+
+/**
+ * Builder + container for one test program. Build with the fluent
+ * methods, then Validate() (or let ProgramRunner validate).
+ */
+class TestProgram {
+ public:
+  TestProgram& Act(dram::BankId bank, dram::RowAddr row);
+  TestProgram& Pre(dram::BankId bank);
+  TestProgram& WriteRow(dram::BankId bank, dram::RowAddr row,
+                        std::uint8_t fill);
+  TestProgram& ReadRow(dram::BankId bank, dram::RowAddr row);
+  TestProgram& Sleep(Tick duration);
+  TestProgram& Loop(std::uint32_t count);
+  TestProgram& EndLoop();
+
+  /// Throws FatalError if the program violates structural rules or
+  /// platform limits.
+  void Validate(const Platform& platform) const;
+
+  const std::vector<Instruction>& instructions() const {
+    return instructions_;
+  }
+
+ private:
+  std::vector<Instruction> instructions_;
+};
+
+/// One captured read.
+struct ReadRecord {
+  dram::BankId bank = 0;
+  dram::RowAddr row = 0;
+  std::vector<std::uint8_t> data;
+};
+
+struct ExecutionResult {
+  std::vector<ReadRecord> reads;
+  Tick elapsed = 0;
+};
+
+}  // namespace vrddram::bender
+
+#endif  // VRDDRAM_BENDER_TEST_PROGRAM_H

@@ -1,0 +1,98 @@
+#include "bender/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vrddram::bender {
+
+namespace {
+constexpr Tick kStep = 20 * units::kMillisecond;
+}
+
+TemperatureController::TemperatureController(dram::Device& device,
+                                             ThermalPlantParams plant,
+                                             PidGains gains,
+                                             std::uint64_t seed)
+    : device_(&device),
+      plant_params_(plant),
+      gains_(gains),
+      rng_(seed),
+      plant_temp_(plant.ambient) {
+  device_->SetTemperature(plant_temp_);
+}
+
+void TemperatureController::SetTarget(Celsius target) {
+  VRD_FATAL_IF(target < plant_params_.ambient,
+               "heater pads cannot cool below ambient");
+  VRD_FATAL_IF(target > 120.0, "target beyond the rig's safe range");
+  target_ = target;
+  integral_ = 0.0;
+  has_last_error_ = false;
+}
+
+bool TemperatureController::Settled() const {
+  return std::abs(plant_temp_ - target_) <= 0.5;
+}
+
+void TemperatureController::Step(Tick dt) {
+  const double dt_s = units::ToSeconds(dt);
+  const double sensed =
+      plant_temp_ + rng_.NextGaussian(0.0, plant_params_.sensor_noise_c);
+  const double error = target_ - sensed;
+
+  integral_ += error * dt_s;
+  // Anti-windup: bound the integral to what the heater can act on.
+  const double integral_cap =
+      plant_params_.heater_max_w / std::max(gains_.ki, 1e-9);
+  integral_ = std::clamp(integral_, -integral_cap, integral_cap);
+
+  const double derivative =
+      has_last_error_ ? (error - last_error_) / dt_s : 0.0;
+  last_error_ = error;
+  has_last_error_ = true;
+
+  double power = gains_.kp * error + gains_.ki * integral_ +
+                 gains_.kd * derivative;
+  power = std::clamp(power, 0.0, plant_params_.heater_max_w);
+
+  const double loss =
+      plant_params_.loss_w_per_c * (plant_temp_ - plant_params_.ambient);
+  plant_temp_ +=
+      (power - loss) * dt_s / plant_params_.thermal_mass_j_per_c;
+
+  device_->Sleep(dt);
+  device_->SetTemperature(plant_temp_);
+}
+
+void TemperatureController::Run(Tick duration) {
+  Tick remaining = duration;
+  while (remaining > 0) {
+    const Tick dt = std::min(remaining, kStep);
+    Step(dt);
+    remaining -= dt;
+  }
+}
+
+Tick TemperatureController::SettleTo(Celsius target, Tick hold,
+                                     Tick timeout) {
+  SetTarget(target);
+  Tick elapsed = 0;
+  Tick in_band = 0;
+  while (elapsed < timeout) {
+    Step(kStep);
+    elapsed += kStep;
+    if (Settled()) {
+      in_band += kStep;
+      if (in_band >= hold) {
+        return elapsed;
+      }
+    } else {
+      in_band = 0;
+    }
+  }
+  throw FatalError("temperature rig failed to settle within the timeout");
+}
+
+}  // namespace vrddram::bender

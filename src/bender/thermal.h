@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Simulated temperature rig (§3): heater pads pressed against the
+ * chips plus a PID controller (modeled after the MaxWell FT200) that
+ * holds the device at a setpoint within +-0.5 degC. The plant is a
+ * first-order thermal mass with loss to ambient and a small sensor
+ * noise term.
+ */
+#ifndef VRDDRAM_BENDER_THERMAL_H
+#define VRDDRAM_BENDER_THERMAL_H
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "dram/device.h"
+
+namespace vrddram::bender {
+
+struct ThermalPlantParams {
+  Celsius ambient = 25.0;
+  double thermal_mass_j_per_c = 40.0;   ///< heat capacity of DIMM + pads
+  double loss_w_per_c = 0.8;            ///< conduction/convection loss
+  double heater_max_w = 60.0;           ///< heater pad power limit
+  double sensor_noise_c = 0.05;         ///< thermocouple noise (1 sigma)
+};
+
+struct PidGains {
+  double kp = 8.0;
+  double ki = 0.8;
+  double kd = 4.0;
+};
+
+/**
+ * Heater + PID loop bound to a device: stepping the controller
+ * advances device time (the device idles while the rig settles) and
+ * continually updates the device's temperature.
+ */
+class TemperatureController {
+ public:
+  TemperatureController(dram::Device& device,
+                        ThermalPlantParams plant = {},
+                        PidGains gains = {},
+                        std::uint64_t seed = 0xf7200);
+
+  void SetTarget(Celsius target);
+  Celsius target() const { return target_; }
+  Celsius Current() const { return plant_temp_; }
+
+  /// Within the FT200's +-0.5 degC precision of the target.
+  bool Settled() const;
+
+  /// Run the control loop for `duration`, advancing device time.
+  void Run(Tick duration);
+
+  /**
+   * Run until the temperature has stayed within +-0.5 degC of the
+   * target for `hold` continuous time; throws FatalError if not
+   * settled within `timeout`. Returns the time it took.
+   */
+  Tick SettleTo(Celsius target, Tick hold = 2 * units::kSecond,
+                Tick timeout = 600 * units::kSecond);
+
+ private:
+  void Step(Tick dt);
+
+  dram::Device* device_;
+  ThermalPlantParams plant_params_;
+  PidGains gains_;
+  Rng rng_;
+
+  Celsius target_ = 50.0;
+  Celsius plant_temp_;
+  double integral_ = 0.0;
+  double last_error_ = 0.0;
+  bool has_last_error_ = false;
+};
+
+}  // namespace vrddram::bender
+
+#endif  // VRDDRAM_BENDER_THERMAL_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error-handling primitives shared across the vrddram libraries.
+ *
+ * Follows the gem5 fatal/panic convention:
+ *  - FatalError is thrown for user-caused conditions (bad configuration,
+ *    invalid arguments): the caller could have avoided it.
+ *  - VRD_ASSERT guards internal invariants; a failure indicates a bug in
+ *    this library, not in the caller's usage.
+ */
+#ifndef VRDDRAM_COMMON_ERROR_H
+#define VRDDRAM_COMMON_ERROR_H
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vrddram {
+
+/// Thrown when a caller-visible precondition is violated (user error).
+class FatalError : public std::runtime_error {
+ public:
+  explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (library bug).
+class PanicError : public std::logic_error {
+ public:
+  explicit PanicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void ThrowFatal(const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "fatal: " << msg << " (" << file << ":" << line << ")";
+  throw FatalError(os.str());
+}
+
+[[noreturn]] inline void ThrowPanic(const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "panic: " << msg << " (" << file << ":" << line << ")";
+  throw PanicError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace vrddram
+
+/// Report a user-caused error: condition the caller should have ensured.
+#define VRD_FATAL_IF(cond, msg)                                    \
+  do {                                                             \
+    if (cond) {                                                    \
+      ::vrddram::detail::ThrowFatal(__FILE__, __LINE__, (msg));    \
+    }                                                              \
+  } while (0)
+
+/// Internal invariant check; failure means a bug in this library.
+#define VRD_ASSERT(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::vrddram::detail::ThrowPanic(__FILE__, __LINE__,                    \
+                                    "assertion failed: " #cond);           \
+    }                                                                      \
+  } while (0)
+
+#define VRD_ASSERT_MSG(cond, msg)                                  \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::vrddram::detail::ThrowPanic(__FILE__, __LINE__, (msg));    \
+    }                                                              \
+  } while (0)
+
+#endif  // VRDDRAM_COMMON_ERROR_H

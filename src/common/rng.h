@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deterministic random-number generation for the vrddram suite.
+ *
+ * Every stochastic component owns its own Rng stream, seeded from a
+ * human-readable label via SeedFrom(). Two runs with the same labels
+ * and seeds produce bit-identical results, which is what lets the
+ * benches reproduce the numbers recorded in EXPERIMENTS.md.
+ *
+ * The generator is xoshiro256** (Blackman & Vigna) seeded through
+ * SplitMix64, the combination recommended by the xoshiro authors.
+ */
+#ifndef VRDDRAM_COMMON_RNG_H
+#define VRDDRAM_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+namespace vrddram {
+
+/// SplitMix64 step; used for seeding and for label hashing.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Hash an arbitrary label (e.g. "module=H1/row=5123/trap=2") together
+/// with a base seed into a 64-bit stream seed.
+std::uint64_t HashLabel(std::uint64_t base_seed, std::string_view label);
+
+/// Mix several integer components into one seed (order-sensitive).
+constexpr std::uint64_t MixSeed(std::uint64_t a, std::uint64_t b = 0,
+                                std::uint64_t c = 0, std::uint64_t d = 0) {
+  std::uint64_t s = a;
+  std::uint64_t out = SplitMix64(s);
+  s ^= b + 0x9e3779b97f4a7c15ull;
+  out ^= SplitMix64(s);
+  s ^= c + 0xc2b2ae3d27d4eb4full;
+  out ^= SplitMix64(s);
+  s ^= d + 0x165667b19e3779f9ull;
+  out ^= SplitMix64(s);
+  return out;
+}
+
+/**
+ * xoshiro256** pseudo-random generator with the distribution helpers
+ * the suite needs. Satisfies UniformRandomBitGenerator.
+ */
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) { Reseed(seed); }
+
+  /// Reset the stream from a 64-bit seed (expanded via SplitMix64).
+  void Reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Next raw 64-bit output.
+  std::uint64_t operator()() { return Next(); }
+
+  std::uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) using Lemire's method; bound > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller with caching.
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double NextLognormal(double mu, double sigma) {
+    return std::exp(NextGaussian(mu, sigma));
+  }
+
+  /// Exponential with the given rate (lambda > 0).
+  double NextExponential(double lambda);
+
+  /// Fork a child stream; deterministic given this stream's state and
+  /// the label, without perturbing this stream's sequence more than
+  /// one draw.
+  Rng Fork(std::string_view label);
+
+ private:
+  std::uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace vrddram
+
+#endif  // VRDDRAM_COMMON_RNG_H

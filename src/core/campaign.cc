@@ -1,0 +1,168 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "bender/thermal.h"
+#include "common/error.h"
+
+namespace vrddram::core {
+
+std::string ToString(TOnChoice choice) {
+  switch (choice) {
+    case TOnChoice::kMinTras: return "min-tRAS";
+    case TOnChoice::kTrefi: return "tREFI";
+    case TOnChoice::kNineTrefi: return "9xtREFI";
+  }
+  throw PanicError("unknown tAggOn choice");
+}
+
+Tick ResolveTOn(TOnChoice choice, const dram::TimingParams& timing) {
+  switch (choice) {
+    case TOnChoice::kMinTras: return timing.tRAS;
+    case TOnChoice::kTrefi: return timing.tREFI;
+    case TOnChoice::kNineTrefi: return 9 * timing.tREFI;
+  }
+  throw PanicError("unknown tAggOn choice");
+}
+
+std::vector<dram::RowAddr> SelectVulnerableRows(
+    dram::Device& device, vrd::TrapFaultEngine& engine, dram::BankId bank,
+    std::size_t per_region, std::size_t scan_per_region,
+    dram::DataPattern pattern, Tick t_on) {
+  VRD_FATAL_IF(per_region == 0 || scan_per_region < per_region,
+               "invalid row-selection counts");
+  const dram::RowAddr rows = device.org().rows_per_bank;
+  VRD_FATAL_IF(scan_per_region * 3 > rows, "bank too small for selection");
+
+  struct Candidate {
+    dram::RowAddr row;
+    double mean_rdt;
+  };
+
+  auto scan_region = [&](dram::RowAddr begin) {
+    std::vector<Candidate> candidates;
+    const dram::RowAddr last = device.org().LargestRowAddress();
+    for (dram::RowAddr row = begin;
+         row < begin + static_cast<dram::RowAddr>(scan_per_region);
+         ++row) {
+      const dram::PhysicalRow phys = device.mapper().ToPhysical(row);
+      if (phys.value == 0 || phys.value >= last) {
+        continue;
+      }
+      // 10 quick RDT samples, as the paper's selection step does.
+      double sum = 0.0;
+      std::size_t hits = 0;
+      for (int i = 0; i < 10; ++i) {
+        const double rdt = engine.MinFlipHammerCount(
+            bank, phys, dram::VictimByte(pattern),
+            dram::AggressorByte(pattern), t_on, device.temperature(),
+            device.encoding(), device.Now());
+        device.Sleep(10 * units::kMillisecond);
+        if (rdt > 0.0) {
+          sum += rdt;
+          ++hits;
+        }
+      }
+      if (hits == 10) {
+        candidates.push_back(Candidate{row, sum / 10.0});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.mean_rdt < b.mean_rdt;
+              });
+    if (candidates.size() > per_region) {
+      candidates.resize(per_region);
+    }
+    return candidates;
+  };
+
+  std::vector<dram::RowAddr> selected;
+  const dram::RowAddr scan = static_cast<dram::RowAddr>(scan_per_region);
+  for (const dram::RowAddr begin :
+       {dram::RowAddr{0}, (rows - scan) / 2, rows - scan}) {
+    for (const Candidate& candidate : scan_region(begin)) {
+      selected.push_back(candidate.row);
+    }
+  }
+  return selected;
+}
+
+CampaignResult RunCampaign(const CampaignConfig& config,
+                           std::ostream* progress) {
+  VRD_FATAL_IF(config.devices.empty(), "campaign needs devices");
+  VRD_FATAL_IF(config.measurements == 0, "campaign needs measurements");
+  CampaignResult result;
+
+  for (const std::string& name : config.devices) {
+    const vrd::TestedChip chip =
+        vrd::MakeTestedChip(name, config.base_seed);
+    std::unique_ptr<dram::Device> device =
+        vrd::BuildDevice(name, config.base_seed);
+    auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());
+    VRD_ASSERT(engine != nullptr);
+    if (device->config().has_on_die_ecc) {
+      // §3.1: disable the HBM2 chips' on-die ECC via the mode register.
+      device->SetOnDieEccEnabled(false);
+    }
+
+    const std::size_t per_region =
+        std::max<std::size_t>(1, config.rows_per_device / 3);
+    const std::vector<dram::RowAddr> rows = SelectVulnerableRows(
+        *device, *engine, /*bank=*/0, per_region,
+        config.scan_rows_per_region, dram::DataPattern::kCheckered0,
+        device->timing().tRAS);
+
+    bender::TemperatureController rig(*device);
+    for (const Celsius temperature : config.temperatures) {
+      if (config.use_thermal_rig) {
+        rig.SettleTo(temperature);
+      } else {
+        device->SetTemperature(temperature);
+        device->Sleep(30 * units::kSecond);
+      }
+      if (progress != nullptr) {
+        *progress << "campaign: " << name << " @ " << temperature
+                  << " degC, " << rows.size() << " rows\n";
+      }
+
+      for (const TOnChoice t_on_choice : config.t_ons) {
+        const Tick t_on = ResolveTOn(t_on_choice, device->timing());
+        for (const dram::DataPattern pattern : config.patterns) {
+          ProfilerConfig pc;
+          pc.bank = 0;
+          pc.pattern = pattern;
+          pc.t_on = t_on;
+          pc.mode = SweepMode::kAnalytic;
+          RdtProfiler profiler(*device, pc);
+
+          for (const dram::RowAddr row : rows) {
+            const std::optional<std::uint64_t> guess =
+                profiler.GuessRdt(row);
+            if (!guess) {
+              continue;  // row does not flip under this combination
+            }
+            SeriesRecord record;
+            record.device = name;
+            record.mfr = chip.spec.mfr;
+            record.standard = chip.spec.standard;
+            record.density_gbit = chip.spec.density_gbit;
+            record.die_rev = chip.spec.die_rev;
+            record.row = row;
+            record.pattern = pattern;
+            record.t_on = t_on_choice;
+            record.temperature = temperature;
+            record.rdt_guess = *guess;
+            record.series =
+                profiler.MeasureSeries(row, *guess, config.measurements);
+            result.records.push_back(std::move(record));
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vrddram::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Multi-row, multi-parameter characterization campaigns: the §5 test
+ * methodology. Selects vulnerable rows per device (first/middle/last
+ * regions, lowest mean RDT over 10 quick measurements), then collects
+ * a measurement series per (row, data pattern, tAggOn, temperature)
+ * combination, settling the thermal rig between temperature levels.
+ */
+#ifndef VRDDRAM_CORE_CAMPAIGN_H
+#define VRDDRAM_CORE_CAMPAIGN_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/rdt_profiler.h"
+#include "vrd/chip_catalog.h"
+
+namespace vrddram::core {
+
+/// The paper's three aggressor-on-time levels (§5 test parameters).
+enum class TOnChoice : std::uint8_t {
+  kMinTras,    ///< minimum tRAS of the standard
+  kTrefi,      ///< average refresh interval (7.8 us DDR4)
+  kNineTrefi,  ///< 9 x tREFI, the longest legal row-open time
+};
+
+std::string ToString(TOnChoice choice);
+Tick ResolveTOn(TOnChoice choice, const dram::TimingParams& timing);
+
+struct CampaignConfig {
+  std::vector<std::string> devices;       ///< catalog names
+  std::size_t rows_per_device = 15;       ///< paper: 150
+  std::size_t measurements = 1000;
+  std::vector<dram::DataPattern> patterns = {
+      dram::DataPattern::kCheckered0};
+  std::vector<TOnChoice> t_ons = {TOnChoice::kMinTras};
+  std::vector<Celsius> temperatures = {50.0};
+  /// Rows scanned per region during selection (paper: 1024).
+  std::size_t scan_rows_per_region = 192;
+  std::uint64_t base_seed = 2025;
+  /// Settle temperatures through the simulated heater + PID rig; when
+  /// false the device temperature is set directly (fast).
+  bool use_thermal_rig = false;
+};
+
+/// One collected measurement series and its full test-parameter key.
+struct SeriesRecord {
+  std::string device;
+  vrd::Manufacturer mfr = vrd::Manufacturer::kMfrH;
+  dram::Standard standard = dram::Standard::kDdr4;
+  std::uint32_t density_gbit = 0;
+  char die_rev = '?';
+  dram::RowAddr row = 0;
+  dram::DataPattern pattern = dram::DataPattern::kCheckered0;
+  TOnChoice t_on = TOnChoice::kMinTras;
+  Celsius temperature = 50.0;
+  std::uint64_t rdt_guess = 0;
+  std::vector<std::int64_t> series;
+};
+
+struct CampaignResult {
+  std::vector<SeriesRecord> records;
+};
+
+/**
+ * §5 row selection: quick-measure rows in the first, middle, and last
+ * `scan_per_region` rows of the bank (10 analytic samples each) and
+ * keep the `per_region` rows with the smallest mean RDT from each
+ * region. Rows that never flip are skipped.
+ */
+std::vector<dram::RowAddr> SelectVulnerableRows(
+    dram::Device& device, vrd::TrapFaultEngine& engine, dram::BankId bank,
+    std::size_t per_region, std::size_t scan_per_region,
+    dram::DataPattern pattern, Tick t_on);
+
+/// Run a full campaign. `progress` (optional) receives one line per
+/// device/temperature step.
+CampaignResult RunCampaign(const CampaignConfig& config,
+                           std::ostream* progress = nullptr);
+
+}  // namespace vrddram::core
+
+#endif  // VRDDRAM_CORE_CAMPAIGN_H

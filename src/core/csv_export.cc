@@ -1,0 +1,38 @@
+#include "core/csv_export.h"
+
+#include <ostream>
+
+#include "core/series_analysis.h"
+
+namespace vrddram::core {
+
+void WriteSeriesCsv(std::ostream& os, const CampaignResult& result) {
+  os << "device,row,pattern,t_on,temperature,measurement_index,rdt\n";
+  for (const SeriesRecord& record : result.records) {
+    for (std::size_t i = 0; i < record.series.size(); ++i) {
+      os << record.device << ',' << record.row << ','
+         << dram::ToString(record.pattern) << ','
+         << ToString(record.t_on) << ',' << record.temperature << ','
+         << i << ',' << record.series[i] << '\n';
+    }
+  }
+}
+
+void WriteSummaryCsv(std::ostream& os, const CampaignResult& result) {
+  os << "device,mfr,density_gbit,die_rev,row,pattern,t_on,temperature,"
+        "rdt_guess,measurements,valid,min,max,mean,cv,unique_values,"
+        "first_min_index,immediate_change_fraction\n";
+  for (const SeriesRecord& record : result.records) {
+    const SeriesAnalysis a = AnalyzeSeries(record.series, 1);
+    os << record.device << ',' << vrd::ToString(record.mfr) << ','
+       << record.density_gbit << ',' << record.die_rev << ','
+       << record.row << ',' << dram::ToString(record.pattern) << ','
+       << ToString(record.t_on) << ',' << record.temperature << ','
+       << record.rdt_guess << ',' << a.measurements << ',' << a.valid
+       << ',' << a.min_rdt << ',' << a.max_rdt << ',' << a.mean << ','
+       << a.cv << ',' << a.unique_values << ',' << a.first_min_index
+       << ',' << a.immediate_change_fraction << '\n';
+  }
+}
+
+}  // namespace vrddram::core

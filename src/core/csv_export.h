@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CSV export of campaign results so measurements can be post-processed
+ * outside the suite (the paper's own figures were produced from such
+ * dumps). Two shapes: the raw per-measurement long format, and a
+ * one-row-per-series analysis summary.
+ */
+#ifndef VRDDRAM_CORE_CSV_EXPORT_H
+#define VRDDRAM_CORE_CSV_EXPORT_H
+
+#include <iosfwd>
+
+#include "core/campaign.h"
+
+namespace vrddram::core {
+
+/**
+ * Long format, one line per measurement:
+ * device,row,pattern,t_on,temperature,measurement_index,rdt
+ * (rdt is -1 for measurements that observed no flip).
+ */
+void WriteSeriesCsv(std::ostream& os, const CampaignResult& result);
+
+/**
+ * Summary format, one line per series:
+ * device,mfr,density_gbit,die_rev,row,pattern,t_on,temperature,
+ * rdt_guess,measurements,valid,min,max,mean,cv,unique_values,
+ * first_min_index,immediate_change_fraction
+ */
+void WriteSummaryCsv(std::ostream& os, const CampaignResult& result);
+
+}  // namespace vrddram::core
+
+#endif  // VRDDRAM_CORE_CSV_EXPORT_H

@@ -1,0 +1,157 @@
+#include "core/guardband.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <set>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "core/campaign.h"
+
+namespace vrddram::core {
+
+std::vector<RowGuardbandOutcome> RunGuardbandStudy(
+    const GuardbandConfig& config, std::ostream* progress) {
+  VRD_FATAL_IF(config.devices.empty(), "study needs devices");
+  VRD_FATAL_IF(config.trials == 0, "study needs trials");
+  std::vector<RowGuardbandOutcome> outcomes;
+
+  for (const std::string& name : config.devices) {
+    std::unique_ptr<dram::Device> device =
+        vrd::BuildDevice(name, config.base_seed);
+    auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());
+    VRD_ASSERT(engine != nullptr);
+    device->SetTemperature(config.temperature);
+
+    const std::size_t per_region =
+        std::max<std::size_t>(1, config.rows_per_device / 3);
+    const std::vector<dram::RowAddr> rows = SelectVulnerableRows(
+        *device, *engine, /*bank=*/0, per_region,
+        config.scan_rows_per_region, dram::DataPattern::kCheckered0,
+        device->timing().tRAS);
+    if (progress != nullptr) {
+      *progress << "guardband: " << name << ", " << rows.size()
+                << " rows\n";
+    }
+
+    for (const dram::DataPattern pattern : config.patterns) {
+      ProfilerConfig pc;
+      pc.bank = 0;
+      pc.pattern = pattern;
+      pc.mode = SweepMode::kAnalytic;
+      RdtProfiler profiler(*device, pc);
+
+      for (const dram::RowAddr row : rows) {
+        // Step 1: a handful of RDT measurements; keep the minimum (the
+        // paper uses 5 to keep testing time reasonable).
+        const std::optional<std::uint64_t> guess = profiler.GuessRdt(row);
+        if (!guess) {
+          continue;
+        }
+        std::int64_t min_rdt = -1;
+        for (std::size_t i = 0; i < config.baseline_measurements; ++i) {
+          const std::int64_t rdt = profiler.MeasureOnce(row, *guess);
+          if (rdt >= 0 && (min_rdt < 0 || rdt < min_rdt)) {
+            min_rdt = rdt;
+          }
+        }
+        if (min_rdt <= 0) {
+          continue;
+        }
+
+        RowGuardbandOutcome outcome;
+        outcome.device = name;
+        outcome.row = row;
+        outcome.pattern = pattern;
+        outcome.min_rdt = static_cast<std::uint64_t>(min_rdt);
+
+        const dram::PhysicalRow phys = device->mapper().ToPhysical(row);
+        const std::uint32_t chips = device->org().chips_per_rank;
+        const Tick t_on = device->timing().tRAS;
+        const Tick trial_time =
+            static_cast<Tick>(2 * outcome.min_rdt) *
+            (t_on + device->timing().tRP);
+
+        // Step 2: hammer repeatedly at guard-banded hammer counts and
+        // union the flipping cells.
+        for (const double margin : config.margins) {
+          MarginOutcome per;
+          per.margin = margin;
+          per.hammer_count = static_cast<std::uint64_t>(
+              static_cast<double>(outcome.min_rdt) * (1.0 - margin));
+          std::set<std::uint32_t> unique_bits;
+          for (std::size_t trial = 0; trial < config.trials; ++trial) {
+            bool any = false;
+            for (const auto& point : engine->PerCellFlipHammerCounts(
+                     /*bank=*/0, phys, dram::VictimByte(pattern),
+                     dram::AggressorByte(pattern), t_on,
+                     config.temperature, device->encoding(),
+                     device->Now())) {
+              if (point.hammer_count >= 0.0 &&
+                  point.hammer_count <=
+                      static_cast<double>(per.hammer_count)) {
+                unique_bits.insert(point.bit_index);
+                any = true;
+              }
+            }
+            if (any) {
+              ++per.trials_with_flips;
+            }
+            device->Sleep(trial_time);
+          }
+
+          per.unique_bitflips = unique_bits.size();
+          std::set<std::uint32_t> chip_set;
+          std::unordered_map<std::uint32_t, std::size_t> secded;
+          std::unordered_map<std::uint32_t, std::size_t> chipkill;
+          for (const std::uint32_t bit : unique_bits) {
+            const std::uint32_t byte = bit / 8;
+            chip_set.insert(byte % chips);
+            std::size_t& s = secded[byte / 8];
+            s += 1;
+            per.max_per_secded_codeword =
+                std::max(per.max_per_secded_codeword, s);
+            std::size_t& c = chipkill[byte / 16];
+            c += 1;
+            per.max_per_chipkill_codeword =
+                std::max(per.max_per_chipkill_codeword, c);
+          }
+          per.chips_touched = chip_set.size();
+          outcome.per_margin.push_back(per);
+        }
+        outcomes.push_back(std::move(outcome));
+      }
+    }
+  }
+  return outcomes;
+}
+
+std::map<std::size_t, std::size_t> BitflipHistogramAtMargin(
+    const std::vector<RowGuardbandOutcome>& outcomes, double margin) {
+  std::map<std::size_t, std::size_t> hist;
+  for (const RowGuardbandOutcome& outcome : outcomes) {
+    for (const MarginOutcome& per : outcome.per_margin) {
+      if (std::abs(per.margin - margin) < 1e-9) {
+        ++hist[per.unique_bitflips];
+      }
+    }
+  }
+  return hist;
+}
+
+double WorstBitErrorRate(const std::vector<RowGuardbandOutcome>& outcomes,
+                         double margin, std::size_t row_bits) {
+  VRD_FATAL_IF(row_bits == 0, "row must have bits");
+  std::size_t worst = 0;
+  for (const RowGuardbandOutcome& outcome : outcomes) {
+    for (const MarginOutcome& per : outcome.per_margin) {
+      if (std::abs(per.margin - margin) < 1e-9) {
+        worst = std::max(worst, per.unique_bitflips);
+      }
+    }
+  }
+  return static_cast<double>(worst) / static_cast<double>(row_bits);
+}
+
+}  // namespace vrddram::core

@@ -1,0 +1,28 @@
+#include "core/min_rdt_mc.h"
+
+#include "common/error.h"
+
+namespace vrddram::core {
+
+RowMinRdtResult AnalyzeRowSeries(std::span<const std::int64_t> series,
+                                 const MinRdtSettings& settings,
+                                 Rng& rng) {
+  std::vector<std::int64_t> valid;
+  valid.reserve(series.size());
+  for (const std::int64_t v : series) {
+    if (v >= 0) {
+      valid.push_back(v);
+    }
+  }
+  VRD_FATAL_IF(valid.empty(), "series has no flipping measurements");
+
+  RowMinRdtResult out;
+  out.per_n.reserve(settings.sample_sizes.size());
+  for (const std::size_t n : settings.sample_sizes) {
+    out.per_n.push_back(stats::SampleMinStatistics(
+        valid, n, settings.iterations, rng, settings.margins));
+  }
+  return out;
+}
+
+}  // namespace vrddram::core

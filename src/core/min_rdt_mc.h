@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Monte Carlo minimum-RDT identification analysis (§5.1, Figs. 8, 15,
+ * 25): for each measurement series, the probability of finding the
+ * series minimum (optionally within a safety margin) with N < series
+ * length measurements, and the expected normalized value of the
+ * minimum found.
+ */
+#ifndef VRDDRAM_CORE_MIN_RDT_MC_H
+#define VRDDRAM_CORE_MIN_RDT_MC_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/monte_carlo.h"
+
+namespace vrddram::core {
+
+struct MinRdtSettings {
+  /// The paper's N values.
+  std::vector<std::size_t> sample_sizes = {1, 3, 5, 10, 50, 500};
+  /// Monte Carlo iterations per (row, N) pair (paper: 10,000).
+  std::size_t iterations = 10000;
+  /// Safety margins for Fig. 15 (fractions of the minimum RDT).
+  std::vector<double> margins = {0.10, 0.20, 0.30, 0.40, 0.50};
+};
+
+/// Per-series results, one entry per sample size.
+struct RowMinRdtResult {
+  std::vector<stats::MinSampleResult> per_n;
+};
+
+/**
+ * Resample one series (kNoFlip sentinels removed) for each configured
+ * N. The caller supplies the RNG so campaigns stay deterministic.
+ */
+RowMinRdtResult AnalyzeRowSeries(std::span<const std::int64_t> series,
+                                 const MinRdtSettings& settings, Rng& rng);
+
+}  // namespace vrddram::core
+
+#endif  // VRDDRAM_CORE_MIN_RDT_MC_H

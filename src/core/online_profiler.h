@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Online RDT profiling with a runtime-configurable threshold - the
+ * future-work direction the paper calls for (§6.5, directions 2-3).
+ *
+ * Instead of one offline profiling pass, an OnlineRdtProfiler keeps
+ * re-measuring a row during idle maintenance windows. Its running
+ * minimum only tightens over time; whenever a new, lower RDT state is
+ * observed, the exported threshold (running minimum shrunk by an
+ * adaptive guardband) drops, and a cooperating mitigation reconfigures
+ * itself. The adaptive guardband widens when minima keep being
+ * discovered (the row is VRD-active) and narrows as the estimate
+ * stabilizes, bounded below by `min_guardband`.
+ */
+#ifndef VRDDRAM_CORE_ONLINE_PROFILER_H
+#define VRDDRAM_CORE_ONLINE_PROFILER_H
+
+#include <cstdint>
+#include <optional>
+
+#include "core/rdt_profiler.h"
+
+namespace vrddram::core {
+
+struct OnlineProfilerConfig {
+  /// Measurements taken per maintenance window.
+  std::size_t measurements_per_window = 4;
+  /// Guardband bounds; the adaptive guardband stays within them.
+  double min_guardband = 0.10;
+  double max_guardband = 0.50;
+  /// Each newly discovered minimum widens the guardband by this much.
+  double widen_on_discovery = 0.10;
+  /// Each quiet window narrows it by this much (never below min).
+  double narrow_on_quiet = 0.01;
+};
+
+class OnlineRdtProfiler {
+ public:
+  OnlineRdtProfiler(dram::Device& device, dram::RowAddr victim,
+                    OnlineProfilerConfig config = {},
+                    ProfilerConfig profiler_config = {});
+
+  /**
+   * Run one maintenance window: take a few measurements, fold them
+   * into the running minimum, adapt the guardband. Returns true if a
+   * new minimum was discovered (the mitigation must reconfigure).
+   */
+  bool RunMaintenanceWindow();
+
+  /// Running minimum observed so far (nullopt before the first flip).
+  std::optional<std::uint64_t> observed_min() const {
+    return observed_min_;
+  }
+
+  /// Current adaptive guardband fraction.
+  double guardband() const { return guardband_; }
+
+  /**
+   * Threshold to program into the mitigation right now: the running
+   * minimum shrunk by the adaptive guardband. nullopt until the row
+   * has flipped at least once.
+   */
+  std::optional<std::uint64_t> RecommendedThreshold() const;
+
+  std::size_t windows_run() const { return windows_run_; }
+  std::size_t discoveries() const { return discoveries_; }
+
+ private:
+  dram::Device* device_;
+  dram::RowAddr victim_;
+  OnlineProfilerConfig config_;
+  RdtProfiler profiler_;
+  std::optional<std::uint64_t> rdt_guess_;
+  std::optional<std::uint64_t> observed_min_;
+  double guardband_;
+  std::size_t windows_run_ = 0;
+  std::size_t discoveries_ = 0;
+};
+
+}  // namespace vrddram::core
+
+#endif  // VRDDRAM_CORE_ONLINE_PROFILER_H

@@ -1,0 +1,91 @@
+#include "core/security_eval.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/rdt_profiler.h"
+
+namespace vrddram::core {
+
+SecurityResult EvaluateThreshold(dram::Device& device,
+                                 vrd::TrapFaultEngine& engine,
+                                 dram::RowAddr victim,
+                                 std::uint64_t threshold,
+                                 std::uint64_t episodes,
+                                 Tick episode_gap,
+                                 dram::DataPattern pattern) {
+  VRD_FATAL_IF(threshold == 0, "threshold must be positive");
+  VRD_FATAL_IF(episodes == 0, "need at least one episode");
+  const dram::PhysicalRow phys = device.mapper().ToPhysical(victim);
+  VRD_FATAL_IF(phys.value == 0 ||
+                   phys.value >= device.org().LargestRowAddress(),
+               "edge victim has no double-sided aggressors");
+
+  SecurityResult result;
+  result.configured_threshold = threshold;
+  result.episodes = episodes;
+
+  for (std::uint64_t episode = 0; episode < episodes; ++episode) {
+    // The idealized tracker lets exactly `threshold` activations per
+    // aggressor through before refreshing the victim. The episode
+    // breaches if the row can flip at or below that count right now.
+    const double flip_at = engine.MinFlipHammerCount(
+        /*bank=*/0, phys, dram::VictimByte(pattern),
+        dram::AggressorByte(pattern), device.timing().tRAS,
+        device.temperature(), device.encoding(), device.Now());
+    if (flip_at >= 0.0 &&
+        flip_at <= static_cast<double>(threshold)) {
+      ++result.breached_episodes;
+      if (!result.first_breach) {
+        result.first_breach = episode;
+      }
+    }
+    // The attack itself plus idle time between attempts.
+    const Tick attack_time =
+        static_cast<Tick>(2 * threshold) *
+        (device.timing().tRAS + device.timing().tRP);
+    device.Sleep(attack_time + episode_gap);
+  }
+  return result;
+}
+
+std::vector<SecurityResult> EvaluateGuardbands(
+    dram::Device& device, vrd::TrapFaultEngine& engine,
+    dram::RowAddr victim, std::size_t profile_measurements,
+    const std::vector<double>& margins, std::uint64_t episodes,
+    dram::DataPattern pattern) {
+  VRD_FATAL_IF(margins.empty(), "need at least one margin");
+  VRD_FATAL_IF(profile_measurements == 0, "need profiling measurements");
+
+  ProfilerConfig pc;
+  pc.pattern = pattern;
+  RdtProfiler profiler(device, pc);
+  const std::optional<std::uint64_t> guess = profiler.GuessRdt(victim);
+  VRD_FATAL_IF(!guess, "victim does not flip under this pattern");
+
+  std::int64_t min_rdt = -1;
+  for (std::size_t i = 0; i < profile_measurements; ++i) {
+    const std::int64_t rdt = profiler.MeasureOnce(victim, *guess);
+    if (rdt >= 0 && (min_rdt < 0 || rdt < min_rdt)) {
+      min_rdt = rdt;
+    }
+  }
+  VRD_FATAL_IF(min_rdt <= 0, "profiling observed no flips");
+
+  std::vector<SecurityResult> results;
+  results.reserve(margins.size());
+  for (const double margin : margins) {
+    VRD_FATAL_IF(margin < 0.0 || margin >= 1.0,
+                 "margin must be in [0, 1)");
+    const auto threshold = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(min_rdt) * (1.0 - margin)));
+    results.push_back(EvaluateThreshold(device, engine, victim,
+                                        threshold, episodes,
+                                        100 * units::kMillisecond,
+                                        pattern));
+  }
+  return results;
+}
+
+}  // namespace vrddram::core

@@ -1,0 +1,115 @@
+#include "dram/bank.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vrddram::dram {
+
+Bank::Bank(const TimingParams* timing) : timing_(timing) {
+  VRD_ASSERT(timing_ != nullptr);
+}
+
+Tick Bank::EarliestActivate(Tick now) const {
+  Tick earliest = now;
+  if (last_pre_ != kNever) {
+    earliest = std::max(earliest, last_pre_ + timing_->tRP);
+  }
+  if (last_act_ != kNever) {
+    earliest = std::max(earliest, last_act_ + timing_->tRC);
+  }
+  return earliest;
+}
+
+Tick Bank::EarliestPrecharge(Tick now) const {
+  Tick earliest = now;
+  if (last_act_ != kNever) {
+    earliest = std::max(earliest, last_act_ + timing_->tRAS);
+  }
+  if (last_rd_start_ != kNever) {
+    earliest = std::max(earliest, last_rd_start_ + timing_->tRTP);
+  }
+  if (last_wr_data_end_ != kNever) {
+    earliest = std::max(earliest, last_wr_data_end_ + timing_->tWR);
+  }
+  return earliest;
+}
+
+Tick Bank::EarliestRead(Tick now) const {
+  Tick earliest = now;
+  if (last_act_ != kNever) {
+    earliest = std::max(earliest, last_act_ + timing_->tRCD);
+  }
+  if (last_rd_start_ != kNever) {
+    earliest = std::max(earliest, last_rd_start_ + timing_->tCCD_L);
+  }
+  if (last_wr_data_end_ != kNever) {
+    earliest = std::max(earliest, last_wr_data_end_);
+  }
+  return earliest;
+}
+
+Tick Bank::EarliestWrite(Tick now) const {
+  Tick earliest = now;
+  if (last_act_ != kNever) {
+    earliest = std::max(earliest, last_act_ + timing_->tRCD);
+  }
+  if (last_wr_start_ != kNever) {
+    earliest = std::max(earliest, last_wr_start_ + timing_->tCCD_L_WR);
+  }
+  if (last_rd_start_ != kNever) {
+    earliest = std::max(earliest, last_rd_start_ + timing_->tCCD_L);
+  }
+  return earliest;
+}
+
+void Bank::Activate(PhysicalRow row, Tick at) {
+  VRD_FATAL_IF(state_ != BankState::kIdle,
+               "ACT issued to a bank with an open row");
+  VRD_ASSERT_MSG(at >= EarliestActivate(at), "ACT violates timing");
+  state_ = BankState::kActive;
+  open_row_ = row;
+  last_act_ = at;
+  last_rd_start_ = kNever;
+  last_wr_start_ = kNever;
+  last_wr_data_end_ = kNever;
+}
+
+Tick Bank::Precharge(Tick at) {
+  VRD_FATAL_IF(state_ != BankState::kActive,
+               "PRE issued to an idle bank");
+  VRD_FATAL_IF(at < EarliestPrecharge(at), "PRE violates timing");
+  state_ = BankState::kIdle;
+  last_pre_ = at;
+  const Tick open_time = at - last_act_;
+  return open_time;
+}
+
+Tick Bank::Read(Tick at) {
+  VRD_FATAL_IF(state_ != BankState::kActive, "RD issued to an idle bank");
+  VRD_FATAL_IF(at < EarliestRead(at), "RD violates timing");
+  last_rd_start_ = at;
+  return at + timing_->tCL + timing_->tBL;
+}
+
+void Bank::SyncAfterBulk(Tick last_act_time, Tick last_pre_time) {
+  VRD_FATAL_IF(state_ != BankState::kIdle,
+               "bulk sync on a bank with an open row");
+  VRD_ASSERT(last_act_time <= last_pre_time);
+  last_act_ = last_act_time;
+  last_pre_ = last_pre_time;
+  last_rd_start_ = kNever;
+  last_wr_start_ = kNever;
+  last_wr_data_end_ = kNever;
+}
+
+Tick Bank::Write(Tick at) {
+  VRD_FATAL_IF(state_ != BankState::kActive, "WR issued to an idle bank");
+  VRD_FATAL_IF(at < EarliestWrite(at), "WR violates timing");
+  last_wr_start_ = at;
+  const Tick data_end = at + timing_->tCWL + timing_->tBL;
+  last_wr_data_end_ = data_end;
+  return data_end;
+}
+
+}  // namespace vrddram::dram

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-bank state machine and timing bookkeeping for the device model
+ * (§2.2). The device auto-schedules every command at the earliest
+ * instant that satisfies the JEDEC inter-command constraints, the way a
+ * tightly-scheduled FPGA test program would issue it.
+ */
+#ifndef VRDDRAM_DRAM_BANK_H
+#define VRDDRAM_DRAM_BANK_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "dram/timing.h"
+#include "dram/types.h"
+
+namespace vrddram::dram {
+
+enum class BankState : std::uint8_t {
+  kIdle,    ///< precharged
+  kActive,  ///< a row is open in the row buffer
+};
+
+/**
+ * One DRAM bank: FSM plus the per-bank timestamps needed to compute
+ * the earliest legal issue time of the next command.
+ */
+class Bank {
+ public:
+  explicit Bank(const TimingParams* timing);
+
+  BankState state() const { return state_; }
+  PhysicalRow open_row() const { return open_row_; }
+
+  /// Earliest tick at which ACT may be issued to this bank.
+  Tick EarliestActivate(Tick now) const;
+  /// Earliest tick for PRE (honours tRAS and write recovery).
+  Tick EarliestPrecharge(Tick now) const;
+  /// Earliest tick for a RD burst.
+  Tick EarliestRead(Tick now) const;
+  /// Earliest tick for a WR burst.
+  Tick EarliestWrite(Tick now) const;
+
+  /// Apply ACT at tick `at` (must be legal; checked).
+  void Activate(PhysicalRow row, Tick at);
+  /// Apply PRE at tick `at`; returns how long the row was open.
+  Tick Precharge(Tick at);
+  /// Apply a RD burst starting at `at`; returns burst end tick.
+  Tick Read(Tick at);
+  /// Apply a WR burst starting at `at`; returns burst end tick.
+  Tick Write(Tick at);
+
+  /**
+   * Synchronize timestamps after a bulk ACT/PRE train executed through
+   * the device's fast path. The bank must be idle; the arguments are
+   * the times of the train's final ACT and PRE.
+   */
+  void SyncAfterBulk(Tick last_act_time, Tick last_pre_time);
+
+ private:
+  const TimingParams* timing_;
+  BankState state_ = BankState::kIdle;
+  PhysicalRow open_row_{0};
+
+  Tick last_act_ = kNever;
+  Tick last_pre_ = kNever;
+  Tick last_rd_start_ = kNever;
+  Tick last_wr_start_ = kNever;
+  Tick last_wr_data_end_ = kNever;
+
+  static constexpr Tick kNever = -1;
+};
+
+}  // namespace vrddram::dram
+
+#endif  // VRDDRAM_DRAM_BANK_H

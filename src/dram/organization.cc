@@ -1,0 +1,68 @@
+#include "dram/organization.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vrddram::dram {
+
+std::string Organization::Describe() const {
+  std::ostringstream os;
+  os << density_gbit << "Gb x" << dq_bits << " (" << chips_per_rank
+     << " chips, " << num_banks << " banks, " << rows_per_bank
+     << " rows/bank, " << row_bytes << " B rows)";
+  return os.str();
+}
+
+Organization MakeDdr4Org(std::uint32_t density_gbit, std::uint32_t dq_bits,
+                         std::uint32_t chips_per_rank) {
+  VRD_FATAL_IF(dq_bits != 8 && dq_bits != 16, "DDR4 chips are x8 or x16");
+  VRD_FATAL_IF(density_gbit != 4 && density_gbit != 8 && density_gbit != 16,
+               "supported DDR4 densities: 4, 8, 16 Gb");
+
+  Organization org;
+  org.density_gbit = density_gbit;
+  org.dq_bits = dq_bits;
+  org.chips_per_rank = chips_per_rank;
+  // x8 chips: 4 bank groups x 4 banks; x16: 2 bank groups x 4 banks.
+  org.num_banks = (dq_bits == 8) ? 16 : 8;
+  // Module-level row: 8 KiB page spread across the rank (the 64 Kibit
+  // row of §6.4's codeword analysis).
+  org.row_bytes = 8192;
+  // rows/bank = chip bits / (banks * page bits per chip).
+  const std::uint64_t chip_bits =
+      static_cast<std::uint64_t>(density_gbit) << 30;
+  const std::uint64_t page_bits_per_chip =
+      static_cast<std::uint64_t>(org.row_bytes) * 8 / chips_per_rank;
+  org.rows_per_bank = static_cast<std::uint32_t>(
+      chip_bits / (org.num_banks * page_bits_per_chip));
+  return org;
+}
+
+Organization MakeDdr5Org() {
+  Organization org;
+  org.density_gbit = 16;
+  org.dq_bits = 8;
+  org.chips_per_rank = 8;
+  org.num_banks = 32;  // 8 bank groups x 4 banks
+  org.row_bytes = 8192;
+  const std::uint64_t chip_bits = 16ull << 30;
+  const std::uint64_t page_bits_per_chip =
+      static_cast<std::uint64_t>(org.row_bytes) * 8 / org.chips_per_rank;
+  org.rows_per_bank = static_cast<std::uint32_t>(
+      chip_bits / (org.num_banks * page_bits_per_chip));
+  return org;
+}
+
+Organization MakeHbm2Org() {
+  Organization org;
+  org.density_gbit = 8;
+  org.dq_bits = 128;  // one channel
+  org.chips_per_rank = 1;
+  org.num_banks = 16;
+  org.rows_per_bank = 1u << 14;
+  org.row_bytes = 2048;
+  return org;
+}
+
+}  // namespace vrddram::dram

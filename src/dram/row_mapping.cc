@@ -1,0 +1,61 @@
+#include "dram/row_mapping.h"
+
+#include "common/error.h"
+
+namespace vrddram::dram {
+
+std::string ToString(RowMappingScheme scheme) {
+  switch (scheme) {
+    case RowMappingScheme::kDirect: return "direct";
+    case RowMappingScheme::kXorMidBits: return "xor-mid-bits";
+    case RowMappingScheme::kPairSwap16: return "pair-swap-16";
+  }
+  throw PanicError("unknown row mapping scheme");
+}
+
+RowMapper::RowMapper(RowMappingScheme scheme, RowAddr rows_per_bank)
+    : scheme_(scheme), rows_per_bank_(rows_per_bank) {
+  VRD_FATAL_IF(rows_per_bank == 0, "bank must have rows");
+  VRD_FATAL_IF((rows_per_bank & (rows_per_bank - 1)) != 0,
+               "rows per bank must be a power of two");
+  VRD_FATAL_IF(rows_per_bank < 16, "mapping schemes act on 16-row groups");
+}
+
+namespace {
+
+RowAddr ApplyScheme(RowMappingScheme scheme, RowAddr row) {
+  switch (scheme) {
+    case RowMappingScheme::kDirect:
+      return row;
+    case RowMappingScheme::kXorMidBits: {
+      // Within each aligned 8-row group, XOR the low two bits with bit
+      // 2; self-inverse because bit 2 itself is untouched.
+      const RowAddr bit2 = (row >> 2) & 1;
+      return row ^ (bit2 ? 0x3u : 0x0u);
+    }
+    case RowMappingScheme::kPairSwap16: {
+      // Swap odd/even pairs in the upper half of each 16-row group:
+      // rows 8..15 of the group become 9,8,11,10,13,12,15,14.
+      if ((row & 0x8u) != 0) {
+        return row ^ 0x1u;
+      }
+      return row;
+    }
+  }
+  throw PanicError("unknown row mapping scheme");
+}
+
+}  // namespace
+
+PhysicalRow RowMapper::ToPhysical(RowAddr logical) const {
+  VRD_FATAL_IF(logical >= rows_per_bank_, "row address out of range");
+  return PhysicalRow{ApplyScheme(scheme_, logical)};
+}
+
+RowAddr RowMapper::ToLogical(PhysicalRow physical) const {
+  VRD_FATAL_IF(physical.value >= rows_per_bank_, "row address out of range");
+  // All schemes are involutions.
+  return ApplyScheme(scheme_, physical.value);
+}
+
+}  // namespace vrddram::dram

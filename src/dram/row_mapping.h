@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Logical-to-physical row-address remapping (§3.1). DRAM manufacturers
+ * internally reorder rows; read-disturbance tests must aggress the rows
+ * that are *physically* adjacent to the victim, so the testing
+ * methodology reverse-engineers the scheme (done in
+ * bender::ReverseEngineerRowMapping against this model).
+ */
+#ifndef VRDDRAM_DRAM_ROW_MAPPING_H
+#define VRDDRAM_DRAM_ROW_MAPPING_H
+
+#include <string>
+
+#include "dram/types.h"
+
+namespace vrddram::dram {
+
+/**
+ * Remapping schemes modeled after those reported by prior
+ * reverse-engineering work [166]: identity, LSB-XOR swizzles within
+ * 8-row groups, and pairwise swaps within 16-row groups.
+ */
+enum class RowMappingScheme : std::uint8_t {
+  kDirect,        ///< physical == logical
+  kXorMidBits,    ///< bits [1:0] XORed with bit 2 within 8-row groups
+  kPairSwap16,    ///< adjacent odd/even pairs swapped in 16-row groups
+};
+
+std::string ToString(RowMappingScheme scheme);
+
+/**
+ * Bijective logical<->physical row translation for one bank.
+ * All schemes are involutions restricted to small aligned groups, as
+ * observed in real chips, so translation never leaves the bank.
+ */
+class RowMapper {
+ public:
+  RowMapper(RowMappingScheme scheme, RowAddr rows_per_bank);
+
+  PhysicalRow ToPhysical(RowAddr logical) const;
+  RowAddr ToLogical(PhysicalRow physical) const;
+
+  RowMappingScheme scheme() const { return scheme_; }
+  RowAddr rows_per_bank() const { return rows_per_bank_; }
+
+ private:
+  RowMappingScheme scheme_;
+  RowAddr rows_per_bank_;
+};
+
+}  // namespace vrddram::dram
+
+#endif  // VRDDRAM_DRAM_ROW_MAPPING_H

@@ -1,0 +1,76 @@
+#include "dram/types.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace vrddram::dram {
+
+std::uint8_t VictimByte(DataPattern pattern) {
+  switch (pattern) {
+    case DataPattern::kRowstripe0: return 0x00;
+    case DataPattern::kRowstripe1: return 0xFF;
+    case DataPattern::kCheckered0: return 0x55;
+    case DataPattern::kCheckered1: return 0xAA;
+  }
+  throw PanicError("unknown data pattern");
+}
+
+std::uint8_t AggressorByte(DataPattern pattern) {
+  switch (pattern) {
+    case DataPattern::kRowstripe0: return 0xFF;
+    case DataPattern::kRowstripe1: return 0x00;
+    case DataPattern::kCheckered0: return 0xAA;
+    case DataPattern::kCheckered1: return 0x55;
+  }
+  throw PanicError("unknown data pattern");
+}
+
+std::uint8_t SurroundByte(DataPattern pattern) {
+  // Table 2: rows V +- [2:8] hold the same byte as the victim.
+  return VictimByte(pattern);
+}
+
+std::string ToString(DataPattern pattern) {
+  switch (pattern) {
+    case DataPattern::kRowstripe0: return "Rowstripe0";
+    case DataPattern::kRowstripe1: return "Rowstripe1";
+    case DataPattern::kCheckered0: return "Checkered0";
+    case DataPattern::kCheckered1: return "Checkered1";
+  }
+  throw PanicError("unknown data pattern");
+}
+
+std::vector<BitFlip> DiffBits(std::span<const std::uint8_t> data,
+                              std::uint8_t expected) {
+  std::vector<BitFlip> flips;
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    std::uint8_t diff = data[byte] ^ expected;
+    while (diff != 0) {
+      const auto bit = static_cast<std::uint8_t>(std::countr_zero(diff));
+      flips.push_back(BitFlip{static_cast<ColAddr>(byte), bit});
+      diff &= static_cast<std::uint8_t>(diff - 1);
+    }
+  }
+  return flips;
+}
+
+std::size_t CountDiffBits(std::span<const std::uint8_t> data,
+                          std::uint8_t expected) {
+  std::size_t count = 0;
+  for (const std::uint8_t byte : data) {
+    count += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(byte ^ expected)));
+  }
+  return count;
+}
+
+std::string ToString(CellEncoding encoding) {
+  switch (encoding) {
+    case CellEncoding::kTrueCell: return "true-cell";
+    case CellEncoding::kAntiCell: return "anti-cell";
+  }
+  throw PanicError("unknown cell encoding");
+}
+
+}  // namespace vrddram::dram

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Core identifier and data-pattern types of the DRAM device model.
+ */
+#ifndef VRDDRAM_DRAM_TYPES_H
+#define VRDDRAM_DRAM_TYPES_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vrddram::dram {
+
+/// Bank index within a device.
+using BankId = std::uint32_t;
+
+/// Row address within a bank. "Logical" rows are what the memory
+/// controller issues; "physical" rows reflect the in-silicon order
+/// after the manufacturer's internal remapping.
+using RowAddr = std::uint32_t;
+
+/// Column (byte offset) within a row.
+using ColAddr = std::uint32_t;
+
+/// Strongly-typed wrapper to keep logical and physical row addresses
+/// from being mixed up accidentally.
+struct PhysicalRow {
+  RowAddr value = 0;
+  friend bool operator==(PhysicalRow, PhysicalRow) = default;
+  friend auto operator<=>(PhysicalRow, PhysicalRow) = default;
+};
+
+/**
+ * The four data patterns of Table 2, named after the victim-row
+ * content.
+ */
+enum class DataPattern : std::uint8_t {
+  kRowstripe0,  ///< victim 0x00, aggressors 0xFF, V +- [2:8] 0x00
+  kRowstripe1,  ///< victim 0xFF, aggressors 0x00, V +- [2:8] 0xFF
+  kCheckered0,  ///< victim 0x55, aggressors 0xAA, V +- [2:8] 0x55
+  kCheckered1,  ///< victim 0xAA, aggressors 0x55, V +- [2:8] 0xAA
+};
+
+inline constexpr DataPattern kAllDataPatterns[] = {
+    DataPattern::kRowstripe0, DataPattern::kRowstripe1,
+    DataPattern::kCheckered0, DataPattern::kCheckered1};
+
+/// Byte written to the victim row under a pattern.
+std::uint8_t VictimByte(DataPattern pattern);
+
+/// Byte written to the two aggressor rows (V +- 1) under a pattern.
+std::uint8_t AggressorByte(DataPattern pattern);
+
+/// Byte written to the surrounding rows (V +- [2:8]) under a pattern.
+std::uint8_t SurroundByte(DataPattern pattern);
+
+std::string ToString(DataPattern pattern);
+
+/**
+ * DRAM cell data-encoding convention (§5.6): a true cell encodes
+ * logic-1 as a charged capacitor, an anti cell encodes logic-1 as a
+ * discharged capacitor.
+ */
+enum class CellEncoding : std::uint8_t {
+  kTrueCell,
+  kAntiCell,
+};
+
+std::string ToString(CellEncoding encoding);
+
+/// A single observed bitflip in a victim row.
+struct BitFlip {
+  ColAddr byte_offset = 0;   ///< Byte within the row.
+  std::uint8_t bit = 0;      ///< Bit within the byte (0 = LSB).
+
+  /// Absolute bit index within the row.
+  std::uint64_t BitIndex() const {
+    return static_cast<std::uint64_t>(byte_offset) * 8 + bit;
+  }
+  friend bool operator==(const BitFlip&, const BitFlip&) = default;
+  friend auto operator<=>(const BitFlip&, const BitFlip&) = default;
+};
+
+/// Bit positions where `data` differs from the uniform `expected`
+/// byte - the read-and-compare step of every disturbance test.
+std::vector<BitFlip> DiffBits(std::span<const std::uint8_t> data,
+                              std::uint8_t expected);
+
+/// Number of differing bits (cheaper when positions are not needed).
+std::size_t CountDiffBits(std::span<const std::uint8_t> data,
+                          std::uint8_t expected);
+
+}  // namespace vrddram::dram
+
+#endif  // VRDDRAM_DRAM_TYPES_H

@@ -1,0 +1,87 @@
+#include "ecc/analysis.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vrddram::ecc {
+
+double BinomialPmf(std::size_t n, std::size_t k, double p) {
+  VRD_FATAL_IF(p < 0.0 || p > 1.0, "probability out of range");
+  if (k > n) {
+    return 0.0;
+  }
+  // Work in log space for numerical robustness.
+  const double log_choose = std::lgamma(static_cast<double>(n) + 1.0) -
+                            std::lgamma(static_cast<double>(k) + 1.0) -
+                            std::lgamma(static_cast<double>(n - k) + 1.0);
+  double log_p = 0.0;
+  if (k > 0) {
+    if (p == 0.0) {
+      return 0.0;
+    }
+    log_p += static_cast<double>(k) * std::log(p);
+  }
+  if (n - k > 0) {
+    if (p == 1.0) {
+      return 0.0;
+    }
+    log_p += static_cast<double>(n - k) * std::log1p(-p);
+  }
+  return std::exp(log_choose + log_p);
+}
+
+double BinomialTail(std::size_t n, std::size_t k, double p) {
+  if (k == 0) {
+    return 1.0;
+  }
+  // P(X >= k) = 1 - sum_{j<k} pmf(j); the head is tiny terms summed in
+  // increasing j, fine at these rates.
+  double head = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    head += BinomialPmf(n, j, p);
+  }
+  return std::max(0.0, 1.0 - head);
+}
+
+std::string ToString(CodeKind kind) {
+  switch (kind) {
+    case CodeKind::kSec: return "SEC";
+    case CodeKind::kSecded: return "SECDED";
+    case CodeKind::kChipkill: return "Chipkill-like (SSC)";
+  }
+  throw PanicError("unknown code kind");
+}
+
+ErrorProbabilities AnalyzeCode(CodeKind kind, double ber) {
+  ErrorProbabilities out;
+  switch (kind) {
+    case CodeKind::kSec: {
+      const double ge2 = BinomialTail(72, 2, ber);
+      out.uncorrectable = ge2;
+      out.undetectable = ge2;  // no detection capability
+      out.detectable_uncorrectable = -1.0;
+      break;
+    }
+    case CodeKind::kSecded: {
+      out.uncorrectable = BinomialTail(72, 2, ber);
+      out.undetectable = BinomialTail(72, 3, ber);
+      out.detectable_uncorrectable = BinomialPmf(72, 2, ber);
+      break;
+    }
+    case CodeKind::kChipkill: {
+      const double symbol_error = 1.0 - std::pow(1.0 - ber, 8.0);
+      const double ge2 = BinomialTail(18, 2, symbol_error);
+      out.uncorrectable = ge2;
+      // Multi-symbol errors alias to valid single-symbol corrections
+      // with high probability; the paper conservatively reports them
+      // as undetectable.
+      out.undetectable = ge2;
+      out.detectable_uncorrectable = -1.0;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vrddram::ecc

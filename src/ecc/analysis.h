@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Analytic error-probability model behind Table 3: probabilities of
+ * uncorrectable / undetectable / detectable-but-uncorrectable errors
+ * for SEC, SECDED, and Chipkill-like SSC codes under an i.i.d. bit
+ * error rate (the paper uses the worst empirically observed rate,
+ * 7.6e-5, from 5 bitflips in a 64 Kibit row at a 10% guardband).
+ */
+#ifndef VRDDRAM_ECC_ANALYSIS_H
+#define VRDDRAM_ECC_ANALYSIS_H
+
+#include <cstddef>
+#include <string>
+
+namespace vrddram::ecc {
+
+/// Binomial pmf: P(X == k) for X ~ Binomial(n, p).
+double BinomialPmf(std::size_t n, std::size_t k, double p);
+
+/// Binomial upper tail: P(X >= k).
+double BinomialTail(std::size_t n, std::size_t k, double p);
+
+enum class CodeKind : std::uint8_t {
+  kSec,       ///< single error correction, 72-bit codeword
+  kSecded,    ///< SEC + double error detection, 72-bit codeword
+  kChipkill,  ///< single symbol correction, 18 x 8-bit symbols
+};
+
+std::string ToString(CodeKind kind);
+
+/// One row of Table 3.
+struct ErrorProbabilities {
+  double uncorrectable = 0.0;
+  double undetectable = 0.0;
+  /// Negative when the category does not exist for the code ("N/A").
+  double detectable_uncorrectable = -1.0;
+};
+
+/**
+ * Analytic per-codeword probabilities at bit error rate `ber`,
+ * matching the paper's model: SEC treats every >= 2-bit error as
+ * silent corruption; SECDED detects 2-bit errors and is silently
+ * beaten by >= 3; SSC fails silently once >= 2 of its 18 symbols are
+ * hit (symbol error rate 1 - (1-ber)^8).
+ */
+ErrorProbabilities AnalyzeCode(CodeKind kind, double ber);
+
+/// The worst bit error rate observed in the paper's §6.4 experiment:
+/// 5 unique bitflips in a 64 Kibit (65,536-bit) row.
+inline constexpr double kPaperWorstBer = 5.0 / 65536.0;  // ~7.6e-5
+
+}  // namespace vrddram::ecc
+
+#endif  // VRDDRAM_ECC_ANALYSIS_H

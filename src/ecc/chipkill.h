@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Chipkill-like single-symbol-correcting (SSC) code (§6.4 / Table 3):
+ * a shortened Reed-Solomon [18,16] code over GF(2^8) - 16 data symbols
+ * plus 2 check symbols in a 144-bit codeword of 18 8-bit symbols. One
+ * arbitrary symbol error (up to 8 adjacent bits: a whole x8 chip's
+ * contribution to the beat) is corrected; most multi-symbol errors are
+ * either miscorrected or aliased, which is why Table 3 reports the SSC
+ * undetectable probability equal to its uncorrectable probability.
+ */
+#ifndef VRDDRAM_ECC_CHIPKILL_H
+#define VRDDRAM_ECC_CHIPKILL_H
+
+#include <array>
+#include <cstdint>
+
+#include "ecc/gf256.h"
+#include "ecc/hamming.h"  // DecodeStatus
+
+namespace vrddram::ecc {
+
+/// 18-symbol codeword: symbols 0..15 data, 16..17 check.
+struct CodewordSsc {
+  std::array<std::uint8_t, 18> symbols{};
+  friend bool operator==(const CodewordSsc&, const CodewordSsc&) = default;
+};
+
+struct SscDecodeResult {
+  DecodeStatus status = DecodeStatus::kClean;
+  std::array<std::uint8_t, 16> data{};
+};
+
+class ChipkillSsc {
+ public:
+  static constexpr std::size_t kDataSymbols = 16;
+  static constexpr std::size_t kTotalSymbols = 18;
+
+  CodewordSsc Encode(const std::array<std::uint8_t, 16>& data) const;
+
+  /**
+   * Single-symbol correction: syndromes S0 = sum(c_i), S1 =
+   * sum(c_i * alpha^i). Both zero: clean. Both nonzero with a valid
+   * position: correct. Otherwise: detected.
+   */
+  SscDecodeResult Decode(const CodewordSsc& word) const;
+};
+
+}  // namespace vrddram::ecc
+
+#endif  // VRDDRAM_ECC_CHIPKILL_H

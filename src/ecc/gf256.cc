@@ -1,0 +1,63 @@
+#include "ecc/gf256.h"
+
+#include "common/error.h"
+
+namespace vrddram::ecc {
+
+Gf256::Gf256() {
+  // Generate exp/log tables for alpha = 0x02 with the AES-style
+  // primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+  unsigned value = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<std::uint8_t>(value);
+    log_[value] = i;
+    value <<= 1;
+    if (value & 0x100u) {
+      value ^= 0x11Du;
+    }
+  }
+  for (int i = 255; i < 512; ++i) {
+    exp_[i] = exp_[i - 255];
+  }
+  log_[0] = -1;
+}
+
+std::uint8_t Gf256::Mul(std::uint8_t a, std::uint8_t b) const {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return exp_[log_[a] + log_[b]];
+}
+
+std::uint8_t Gf256::Div(std::uint8_t a, std::uint8_t b) const {
+  VRD_FATAL_IF(b == 0, "GF(256) division by zero");
+  if (a == 0) {
+    return 0;
+  }
+  return exp_[log_[a] - log_[b] + 255];
+}
+
+std::uint8_t Gf256::Inv(std::uint8_t a) const {
+  VRD_FATAL_IF(a == 0, "GF(256) inverse of zero");
+  return exp_[255 - log_[a]];
+}
+
+std::uint8_t Gf256::Exp(int power) const {
+  int p = power % 255;
+  if (p < 0) {
+    p += 255;
+  }
+  return exp_[p];
+}
+
+int Gf256::Log(std::uint8_t a) const {
+  VRD_FATAL_IF(a == 0, "GF(256) log of zero");
+  return log_[a];
+}
+
+const Gf256& Gf256::Instance() {
+  static const Gf256 instance;
+  return instance;
+}
+
+}  // namespace vrddram::ecc

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * GF(2^8) arithmetic (polynomial basis, primitive polynomial 0x11D)
+ * used by the Chipkill-like single-symbol-correcting code.
+ */
+#ifndef VRDDRAM_ECC_GF256_H
+#define VRDDRAM_ECC_GF256_H
+
+#include <cstdint>
+
+namespace vrddram::ecc {
+
+class Gf256 {
+ public:
+  Gf256();
+
+  std::uint8_t Add(std::uint8_t a, std::uint8_t b) const {
+    return a ^ b;
+  }
+  std::uint8_t Mul(std::uint8_t a, std::uint8_t b) const;
+  std::uint8_t Div(std::uint8_t a, std::uint8_t b) const;
+  std::uint8_t Inv(std::uint8_t a) const;
+  /// alpha^power for the primitive element alpha = 0x02.
+  std::uint8_t Exp(int power) const;
+  /// Discrete log base alpha; a must be nonzero.
+  int Log(std::uint8_t a) const;
+
+  /// Singleton instance (tables built once).
+  static const Gf256& Instance();
+
+ private:
+  std::uint8_t exp_[512];
+  int log_[256];
+};
+
+}  // namespace vrddram::ecc
+
+#endif  // VRDDRAM_ECC_GF256_H

@@ -1,0 +1,115 @@
+#include "ecc/hamming.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace vrddram::ecc {
+
+bool Codeword72::GetBit(std::size_t position) const {
+  VRD_ASSERT(position < 72);
+  if (position < 64) {
+    return (data >> position) & 1;
+  }
+  return (check >> (position - 64)) & 1;
+}
+
+void Codeword72::FlipBit(std::size_t position) {
+  VRD_ASSERT(position < 72);
+  if (position < 64) {
+    data ^= (1ull << position);
+  } else {
+    check ^= static_cast<std::uint8_t>(1u << (position - 64));
+  }
+}
+
+Hamming72::Hamming72() {
+  // Hsiao construction: 64 distinct odd-weight columns of weight >= 3
+  // for the data bits (all 56 weight-3 columns plus 8 weight-5
+  // columns), and unit columns for the check bits.
+  std::size_t next = 0;
+  for (int weight : {3, 5}) {
+    for (unsigned candidate = 0; candidate < 256 && next < 64;
+         ++candidate) {
+      if (std::popcount(candidate) == weight) {
+        columns_[next++] = static_cast<std::uint8_t>(candidate);
+      }
+    }
+  }
+  VRD_ASSERT(next == 64);
+  for (std::size_t i = 0; i < 8; ++i) {
+    columns_[64 + i] = static_cast<std::uint8_t>(1u << i);
+  }
+}
+
+Codeword72 Hamming72::Encode(std::uint64_t data) const {
+  Codeword72 word;
+  word.data = data;
+  std::uint8_t check = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if ((data >> i) & 1) {
+      check ^= columns_[i];
+    }
+  }
+  word.check = check;
+  return word;
+}
+
+std::uint8_t Hamming72::Syndrome(const Codeword72& word) const {
+  std::uint8_t syndrome = 0;
+  for (std::size_t i = 0; i < 72; ++i) {
+    if (word.GetBit(i)) {
+      syndrome ^= columns_[i];
+    }
+  }
+  return syndrome;
+}
+
+DecodeResult Hamming72::Decode(const Codeword72& word) const {
+  const std::uint8_t syndrome = Syndrome(word);
+  DecodeResult result;
+  result.data = word.data;
+  if (syndrome == 0) {
+    result.status = DecodeStatus::kClean;
+    return result;
+  }
+  for (std::size_t i = 0; i < 72; ++i) {
+    if (columns_[i] == syndrome) {
+      Codeword72 fixed = word;
+      fixed.FlipBit(i);
+      result.status = DecodeStatus::kCorrected;
+      result.data = fixed.data;
+      return result;
+    }
+  }
+  // All columns are odd weight: a double error yields an even-weight
+  // syndrome that matches no column; odd-weight non-column syndromes
+  // (>= 3 errors) are likewise flagged.
+  result.status = DecodeStatus::kDetected;
+  return result;
+}
+
+DecodeResult Hamming72::DecodeSecOnly(const Codeword72& word) const {
+  const std::uint8_t syndrome = Syndrome(word);
+  DecodeResult result;
+  result.data = word.data;
+  if (syndrome == 0) {
+    result.status = DecodeStatus::kClean;
+    return result;
+  }
+  for (std::size_t i = 0; i < 72; ++i) {
+    if (columns_[i] == syndrome) {
+      Codeword72 fixed = word;
+      fixed.FlipBit(i);
+      result.status = DecodeStatus::kCorrected;
+      result.data = fixed.data;
+      return result;
+    }
+  }
+  // A SEC decoder has no detection rule: an unmatched syndrome means
+  // it silently passes the (corrupted) data through.
+  result.status = DecodeStatus::kClean;
+  return result;
+}
+
+}  // namespace vrddram::ecc

@@ -1,0 +1,58 @@
+#include "ecc/on_die.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace vrddram::ecc {
+
+const Hamming72& OnDieSec::Codec() {
+  static const Hamming72 codec;
+  return codec;
+}
+
+std::vector<std::uint8_t> OnDieSec::EncodeParity(
+    std::span<const std::uint8_t> data) {
+  VRD_FATAL_IF(data.size() % 8 != 0,
+               "on-die ECC rows must be multiples of 8 bytes");
+  std::vector<std::uint8_t> parity(data.size() / 8);
+  for (std::size_t word = 0; word < parity.size(); ++word) {
+    std::uint64_t value = 0;
+    std::memcpy(&value, data.data() + word * 8, 8);
+    parity[word] = Codec().Encode(value).check;
+  }
+  return parity;
+}
+
+OnDieSec::DecodeStats OnDieSec::DecodeInPlace(
+    std::span<std::uint8_t> data, std::span<const std::uint8_t> parity) {
+  VRD_FATAL_IF(data.size() % 8 != 0,
+               "on-die ECC rows must be multiples of 8 bytes");
+  VRD_FATAL_IF(parity.size() != data.size() / 8,
+               "parity length mismatch");
+  DecodeStats stats;
+  for (std::size_t word = 0; word < parity.size(); ++word) {
+    Codeword72 codeword;
+    std::memcpy(&codeword.data, data.data() + word * 8, 8);
+    codeword.check = parity[word];
+    // Full Hsiao decode for the internal error telemetry; the host
+    // still only ever sees corrected-or-raw data (SEC semantics).
+    const DecodeResult result = Codec().Decode(codeword);
+    switch (result.status) {
+      case DecodeStatus::kCorrected:
+        if (result.data != codeword.data) {
+          std::memcpy(data.data() + word * 8, &result.data, 8);
+        }
+        ++stats.corrected_words;
+        break;
+      case DecodeStatus::kDetected:
+        ++stats.uncorrectable_words;  // data passed through unchanged
+        break;
+      default:
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace vrddram::ecc

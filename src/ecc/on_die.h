@@ -1,0 +1,48 @@
+/**
+ * @file
+ * On-die ECC in the HBM2 style: a SEC code over each 64-bit word of a
+ * row, with the parity stored alongside the data (invisible to the
+ * host). The device model computes parity at write time and decodes at
+ * read time; §3.1's methodology disables it via the mode register
+ * precisely because it would otherwise mask read-disturbance bitflips.
+ */
+#ifndef VRDDRAM_ECC_ON_DIE_H
+#define VRDDRAM_ECC_ON_DIE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/hamming.h"
+
+namespace vrddram::ecc {
+
+/// Per-row on-die SEC: one Hamming(72,64) codeword per 8 data bytes.
+class OnDieSec {
+ public:
+  /// Parity bytes for `data` (one byte per 8 data bytes; data length
+  /// must be a multiple of 8).
+  static std::vector<std::uint8_t> EncodeParity(
+      std::span<const std::uint8_t> data);
+
+  struct DecodeStats {
+    std::size_t corrected_words = 0;
+    std::size_t uncorrectable_words = 0;
+  };
+
+  /**
+   * Decode `data` in place against `parity`. Single-bit errors per
+   * word (in data or parity) are corrected; multi-bit words are left
+   * unchanged and counted as uncorrectable (a plain SEC code cannot
+   * flag them to the host).
+   */
+  static DecodeStats DecodeInPlace(std::span<std::uint8_t> data,
+                                   std::span<const std::uint8_t> parity);
+
+ private:
+  static const Hamming72& Codec();
+};
+
+}  // namespace vrddram::ecc
+
+#endif  // VRDDRAM_ECC_ON_DIE_H

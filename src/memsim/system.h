@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cycle-approximate four-core DDR5 memory-system model used for the
+ * §6.3 mitigation-overhead study (Fig. 14). Event-driven: each core is
+ * a closed-loop generator with a bounded miss window (MLP); the single
+ * memory channel models per-bank row-buffer state, bank timing
+ * (tRP/tRCD/tCL/tCCD), shared data-bus occupancy, periodic refresh,
+ * and the per-activation penalties charged by the configured
+ * read-disturbance mitigation.
+ */
+#ifndef VRDDRAM_MEMSIM_SYSTEM_H
+#define VRDDRAM_MEMSIM_SYSTEM_H
+
+#include <vector>
+
+#include "dram/timing.h"
+#include "memsim/mitigation.h"
+#include "memsim/workload.h"
+
+namespace vrddram::memsim {
+
+/// Request scheduling policy.
+enum class Scheduler : std::uint8_t {
+  /// Serve strictly in core-issue order (baseline).
+  kInOrder,
+  /// FR-FCFS: among requests ready at the same instant, row-buffer
+  /// hits bypass older misses.
+  kFrFcfs,
+};
+
+struct SystemConfig {
+  dram::TimingParams timing = dram::MakeDdr5_8800();
+  Scheduler scheduler = Scheduler::kInOrder;
+  std::uint32_t num_banks = 32;
+  std::uint32_t rows_per_bank = 1u << 17;
+  std::size_t requests_per_core = 20000;
+  std::uint32_t mlp = 8;  ///< outstanding misses per core
+  MitigationKind mitigation = MitigationKind::kNone;
+  std::uint64_t rdt = 1024;  ///< configured read disturbance threshold
+  std::uint64_t seed = 1;
+  bool refresh_enabled = true;
+};
+
+struct CoreStats {
+  std::uint64_t requests = 0;
+  Tick finish_time = 0;
+  double instructions = 0.0;
+  /// Instructions per nanosecond (any consistent unit works for the
+  /// normalized metrics).
+  double Throughput() const {
+    return finish_time > 0
+               ? instructions / units::ToNs(finish_time)
+               : 0.0;
+  }
+};
+
+struct SystemResult {
+  std::vector<CoreStats> cores;
+  Tick makespan = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t preventive_actions = 0;
+  /// Sum of per-request (completion - issue) latencies.
+  Tick total_latency = 0;
+  std::uint64_t total_requests = 0;
+  /// Every request's latency, for percentile reporting.
+  std::vector<Tick> latencies;
+
+  /// Average memory latency in nanoseconds.
+  double AvgLatencyNs() const {
+    return total_requests == 0
+               ? 0.0
+               : units::ToNs(total_latency) /
+                     static_cast<double>(total_requests);
+  }
+
+  /// Latency percentile in nanoseconds (p in [0, 100]).
+  double LatencyPercentileNs(double p) const;
+};
+
+/// Simulate one mix under one configuration.
+SystemResult SimulateMix(const WorkloadMix& mix,
+                         const SystemConfig& config);
+
+/**
+ * Fig. 14 metric: weighted speedup of the mitigated run normalized to
+ * the baseline run (same mix, no mitigation): the mean over cores of
+ * per-core throughput ratios.
+ */
+double NormalizedPerformance(const SystemResult& mitigated,
+                             const SystemResult& baseline);
+
+}  // namespace vrddram::memsim
+
+#endif  // VRDDRAM_MEMSIM_SYSTEM_H

@@ -1,0 +1,62 @@
+#include "stats/autocorrelation.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace vrddram::stats {
+
+std::vector<double> Autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag) {
+  VRD_FATAL_IF(xs.size() < 2, "ACF needs at least two samples");
+  VRD_FATAL_IF(max_lag >= xs.size(), "max_lag must be < series length");
+  const std::size_t n = xs.size();
+  const double mu = Mean(xs);
+
+  double c0 = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    c0 += d * d;
+  }
+  c0 /= static_cast<double>(n);
+
+  std::vector<double> acf(max_lag + 1, 0.0);
+  if (c0 == 0.0) {
+    // A constant series is perfectly correlated with itself at all lags.
+    for (auto& r : acf) {
+      r = 1.0;
+    }
+    return acf;
+  }
+  acf[0] = 1.0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double ck = 0.0;
+    for (std::size_t t = 0; t + k < n; ++t) {
+      ck += (xs[t] - mu) * (xs[t + k] - mu);
+    }
+    ck /= static_cast<double>(n);
+    acf[k] = ck / c0;
+  }
+  return acf;
+}
+
+double WhiteNoiseBound95(std::size_t n) {
+  VRD_FATAL_IF(n == 0, "white-noise bound of empty series");
+  return 1.96 / std::sqrt(static_cast<double>(n));
+}
+
+double FractionSignificantLags(std::span<const double> acf, std::size_t n) {
+  VRD_FATAL_IF(acf.size() < 2, "need at least lag 1");
+  const double bound = WhiteNoiseBound95(n);
+  std::size_t significant = 0;
+  for (std::size_t k = 1; k < acf.size(); ++k) {
+    if (std::abs(acf[k]) > bound) {
+      ++significant;
+    }
+  }
+  return static_cast<double>(significant) /
+         static_cast<double>(acf.size() - 1);
+}
+
+}  // namespace vrddram::stats

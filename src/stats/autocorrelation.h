@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Autocorrelation function (ACF) of a measurement series, used in §4.1
+ * (Fig. 6) to show that RDT series harbour no repeating patterns.
+ */
+#ifndef VRDDRAM_STATS_AUTOCORRELATION_H
+#define VRDDRAM_STATS_AUTOCORRELATION_H
+
+#include <span>
+#include <vector>
+
+namespace vrddram::stats {
+
+/**
+ * Sample ACF at lags 0..max_lag (biased estimator, the standard
+ * time-series convention): rho(k) = c(k) / c(0) with
+ * c(k) = (1/n) * sum_{t}(x_t - xbar)(x_{t+k} - xbar).
+ */
+std::vector<double> Autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag);
+
+/**
+ * Two-sided 95% white-noise confidence bound, +-1.96/sqrt(n): lags
+ * whose |rho| stays inside this band are consistent with an i.i.d.
+ * series.
+ */
+double WhiteNoiseBound95(std::size_t n);
+
+/**
+ * Fraction of lags 1..max_lag whose |rho| exceeds the white-noise
+ * band. For an i.i.d. series this should be about 5%; a repeating
+ * pattern drives it far higher.
+ */
+double FractionSignificantLags(std::span<const double> acf, std::size_t n);
+
+}  // namespace vrddram::stats
+
+#endif  // VRDDRAM_STATS_AUTOCORRELATION_H

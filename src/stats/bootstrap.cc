@@ -1,0 +1,37 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace vrddram::stats {
+
+BootstrapCI Bootstrap(std::span<const double> xs,
+                      const Statistic& statistic, Rng& rng,
+                      std::size_t resamples, double confidence) {
+  VRD_FATAL_IF(xs.empty(), "bootstrap of an empty sample");
+  VRD_FATAL_IF(resamples < 10, "bootstrap needs resamples");
+  VRD_FATAL_IF(confidence <= 0.0 || confidence >= 1.0,
+               "confidence must be in (0, 1)");
+
+  BootstrapCI ci;
+  ci.point = statistic(xs);
+
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  std::vector<double> resample(xs.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (double& value : resample) {
+      value = xs[rng.NextBelow(xs.size())];
+    }
+    estimates.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  ci.lo = Percentile(estimates, 100.0 * alpha);
+  ci.hi = Percentile(estimates, 100.0 * (1.0 - alpha));
+  return ci;
+}
+
+}  // namespace vrddram::stats

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Nonparametric bootstrap confidence intervals for the statistics the
+ * characterization study reports (CV, minimum, expected normalized
+ * minimum). The paper reports point estimates; the bootstrap quantifies
+ * how much a 1,000-measurement series really pins them down.
+ */
+#ifndef VRDDRAM_STATS_BOOTSTRAP_H
+#define VRDDRAM_STATS_BOOTSTRAP_H
+
+#include <functional>
+#include <span>
+
+#include "common/rng.h"
+
+namespace vrddram::stats {
+
+/// A percentile bootstrap confidence interval.
+struct BootstrapCI {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;     ///< lower confidence bound
+  double hi = 0.0;     ///< upper confidence bound
+
+  bool Contains(double value) const { return value >= lo && value <= hi; }
+  double Width() const { return hi - lo; }
+};
+
+/// Any statistic of a sample (mean, CV, percentile, ...).
+using Statistic = std::function<double(std::span<const double>)>;
+
+/**
+ * Percentile bootstrap: resample `xs` with replacement `resamples`
+ * times, evaluate `statistic` on each resample, and report the
+ * (1-confidence)/2 and 1-(1-confidence)/2 quantiles.
+ */
+BootstrapCI Bootstrap(std::span<const double> xs,
+                      const Statistic& statistic, Rng& rng,
+                      std::size_t resamples = 2000,
+                      double confidence = 0.95);
+
+}  // namespace vrddram::stats
+
+#endif  // VRDDRAM_STATS_BOOTSTRAP_H

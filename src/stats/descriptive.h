@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the characterization study:
+ * mean/stddev/CV, percentiles, and the box-and-whisker summary the
+ * paper plots in Figs. 3, 8-13, and 15.
+ */
+#ifndef VRDDRAM_STATS_DESCRIPTIVE_H
+#define VRDDRAM_STATS_DESCRIPTIVE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vrddram::stats {
+
+/// Arithmetic mean; empty input is a caller error.
+double Mean(std::span<const double> xs);
+
+/// Sample variance (n - 1 denominator); returns 0 for n == 1.
+double SampleVariance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double SampleStddev(std::span<const double> xs);
+
+/**
+ * Coefficient of variation: sample stddev normalized to the mean, the
+ * per-row temporal-variation metric of Fig. 7 (paper footnote 10).
+ */
+double CoefficientOfVariation(std::span<const double> xs);
+
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
+
+/**
+ * Percentile by linear interpolation between closest ranks;
+ * p in [0, 100]. Matches the common "linear" convention (numpy
+ * default), which is what the paper's plotting stack used.
+ */
+double Percentile(std::span<const double> xs, double p);
+
+/// Median = 50th percentile.
+double Median(std::span<const double> xs);
+
+/**
+ * Box-and-whisker summary as defined in the paper's footnote 6:
+ * box from Q1 to Q3 (medians of the lower/upper halves of the ordered
+ * data), whiskers at min/max, circle at the mean.
+ */
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+
+  double Iqr() const { return q3 - q1; }
+};
+
+BoxStats ComputeBoxStats(std::span<const double> xs);
+
+/// Convenience: widen an integral series to double for the stats API.
+std::vector<double> ToDoubles(std::span<const std::int64_t> xs);
+std::vector<double> ToDoubles(std::span<const std::uint32_t> xs);
+
+}  // namespace vrddram::stats
+
+#endif  // VRDDRAM_STATS_DESCRIPTIVE_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Histogram construction matching the paper's Fig. 4 convention: the
+ * number of bins equals the number of unique measured values, bins are
+ * equal-width over [min, max].
+ */
+#ifndef VRDDRAM_STATS_HISTOGRAM_H
+#define VRDDRAM_STATS_HISTOGRAM_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vrddram::stats {
+
+/// One histogram bin: [lo, hi) except the last bin which is [lo, hi].
+struct HistogramBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t count = 0;
+};
+
+struct Histogram {
+  std::vector<HistogramBin> bins;
+  std::uint64_t total = 0;
+
+  /// Fraction of samples in bin b.
+  double Fraction(std::size_t b) const;
+  /// Index of the most populated bin.
+  std::size_t ModeBin() const;
+};
+
+/// Count distinct values in the series (Fig. 4: "unique measured RDT
+/// values").
+std::size_t CountUnique(std::span<const double> xs);
+std::size_t CountUnique(std::span<const std::int64_t> xs);
+
+/// Equal-width histogram with an explicit bin count.
+Histogram BuildHistogram(std::span<const double> xs, std::size_t num_bins);
+
+/// Fig. 4 convention: num_bins = number of unique values.
+Histogram BuildUniqueValueHistogram(std::span<const double> xs);
+
+/**
+ * Modality probe used to flag the bimodal HBM chip (Finding 2): counts
+ * local maxima of a smoothed histogram whose height exceeds
+ * `min_prominence` times the global mode.
+ */
+std::size_t CountModes(const Histogram& hist, double min_prominence = 0.1);
+
+}  // namespace vrddram::stats
+
+#endif  // VRDDRAM_STATS_HISTOGRAM_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Monte Carlo resampling of RDT measurement series, the methodology of
+ * §5.1 ("Probability of Identifying the Minimum RDT"): uniformly draw N
+ * of the 1,000 measurements per iteration and study the minimum of the
+ * draw relative to the minimum of the full series.
+ */
+#ifndef VRDDRAM_STATS_MONTE_CARLO_H
+#define VRDDRAM_STATS_MONTE_CARLO_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vrddram::stats {
+
+/// Outcome of resampling one series with one sample size N.
+struct MinSampleResult {
+  std::size_t sample_size = 0;     ///< N measurements per iteration.
+  std::size_t iterations = 0;      ///< Monte Carlo iterations (paper: 10k).
+  double prob_find_min = 0.0;      ///< P(min of draw == min of series).
+  double expected_norm_min = 0.0;  ///< E[min of draw] / min of series.
+  /// P(min of draw <= (1 + margin) * min of series), one entry per
+  /// requested margin (Fig. 15's safety margins).
+  std::vector<double> prob_within_margin;
+};
+
+/**
+ * Monte Carlo estimate of the minimum-finding statistics for one
+ * series. `margins` are relative safety margins (e.g. 0.10 for 10%).
+ * Draws are uniform with replacement, matching the paper's
+ * "uniformly randomly select N RDT measurements" procedure.
+ */
+MinSampleResult SampleMinStatistics(std::span<const std::int64_t> series,
+                                    std::size_t sample_size,
+                                    std::size_t iterations, Rng& rng,
+                                    std::span<const double> margins = {});
+
+/**
+ * Exact (closed-form) versions of the same statistics, used to
+ * cross-check the Monte Carlo estimator in tests: with i.i.d. uniform
+ * draws, P(find min) = 1 - (1 - k/n)^N where k = multiplicity of the
+ * minimum, and E[min of draw] follows from the order statistics of the
+ * empirical distribution.
+ */
+double ExactProbFindMin(std::span<const std::int64_t> series,
+                        std::size_t sample_size);
+double ExactExpectedNormalizedMin(std::span<const std::int64_t> series,
+                                  std::size_t sample_size);
+double ExactProbWithinMargin(std::span<const std::int64_t> series,
+                             std::size_t sample_size, double margin);
+
+}  // namespace vrddram::stats
+
+#endif  // VRDDRAM_STATS_MONTE_CARLO_H

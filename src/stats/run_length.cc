@@ -1,0 +1,56 @@
+#include "stats/run_length.h"
+
+#include "common/error.h"
+
+namespace vrddram::stats {
+
+std::uint64_t RunLengthHistogram::TotalRuns() const {
+  std::uint64_t total = 0;
+  for (const auto& [len, count] : counts) {
+    total += count;
+  }
+  return total;
+}
+
+std::size_t RunLengthHistogram::LongestRun() const {
+  if (counts.empty()) {
+    return 0;
+  }
+  return counts.rbegin()->first;
+}
+
+double RunLengthHistogram::ImmediateChangeFraction() const {
+  const std::uint64_t total = TotalRuns();
+  if (total == 0) {
+    return 0.0;
+  }
+  const auto it = counts.find(1);
+  const std::uint64_t ones = (it == counts.end()) ? 0 : it->second;
+  return static_cast<double>(ones) / static_cast<double>(total);
+}
+
+RunLengthHistogram ComputeRunLengths(std::span<const std::int64_t> xs) {
+  RunLengthHistogram hist;
+  if (xs.empty()) {
+    return hist;
+  }
+  std::size_t run = 1;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] == xs[i - 1]) {
+      ++run;
+    } else {
+      ++hist.counts[run];
+      run = 1;
+    }
+  }
+  ++hist.counts[run];
+  return hist;
+}
+
+void Merge(RunLengthHistogram& a, const RunLengthHistogram& b) {
+  for (const auto& [len, count] : b.counts) {
+    a.counts[len] += count;
+  }
+}
+
+}  // namespace vrddram::stats

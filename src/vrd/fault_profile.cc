@@ -1,0 +1,17 @@
+#include "vrd/fault_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrddram::vrd {
+
+double FaultProfile::PressFactor(Tick t_on) const {
+  // Sub-linear amplification with aggressor-on time, anchored at 1.0
+  // for t_on == tRAS; the exponent follows the saturating trend
+  // RowPress [4] reports across tAggOn values.
+  const double extra_us =
+      std::max(0.0, units::ToUs(t_on) - units::ToUs(t_ras));
+  return 1.0 + k_press * std::pow(extra_us, 0.7);
+}
+
+}  // namespace vrddram::vrd

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Parameters of the trap-based read-disturbance fault model (DESIGN.md
+ * §4). One FaultProfile describes the disturbance physics of one chip
+ * "individual": per-cell threshold statistics (spatial variation), the
+ * charge-trap population that creates the *temporal* variation (VRD),
+ * and the sensitivities to data pattern, aggressor-on time (RowPress),
+ * and temperature that §5.3-§5.5 characterize.
+ */
+#ifndef VRDDRAM_VRD_FAULT_PROFILE_H
+#define VRDDRAM_VRD_FAULT_PROFILE_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace vrddram::vrd {
+
+struct FaultProfile {
+  // -- spatial variation (per-cell intrinsic thresholds) -------------------
+  /// Median hammer count needed to flip a weak cell under nominal
+  /// conditions (double-sided, tAggOn = tRAS, opposite-bit aggressors,
+  /// no occupied traps).
+  double median_rdt = 12000.0;
+  /// Lognormal sigma of the per-row threshold factor (row-level
+  /// process variation shared by the row's cells).
+  double sigma_rdt = 0.30;
+  /// Lognormal sigma of per-cell thresholds within a row. Small values
+  /// cluster a row's weak cells near its minimum, which is why several
+  /// distinct cells can flip under a guard-banded hammer count
+  /// (Fig. 16's up-to-5 unique bitflips per row).
+  double sigma_rdt_cell = 0.10;
+  /// Expected number of disturbance-prone (weak) cells per row.
+  double weak_cells_mean = 5.0;
+  /// Relative coupling of aggressors two rows away (blast radius).
+  double d2_coupling = 0.02;
+
+  // -- RowPress sensitivity -------------------------------------------------
+  /// Strength of the aggressor-on-time amplification.
+  double k_press = 1.0;
+  /// Minimum tRAS of the device (press factor reference point).
+  Tick t_ras = 32 * units::kNanosecond;
+
+  // -- trap population (temporal variation) --------------------------------
+  /// Expected number of fast traps per weak cell. Fast traps toggle
+  /// between measurements and create the multi-state RDT histogram.
+  double fast_trap_mean = 1.6;
+  /// Median coupling weight added by one occupied fast trap.
+  double fast_weight_med = 0.035;
+  /// Fast trap transition-rate range (total rate, 1/s).
+  double fast_rate_lo_hz = 50.0;
+  double fast_rate_hi_hz = 2000.0;
+  /// Per-cell probability of owning a *rare* trap: very low occupancy,
+  /// large weight - the deep RDT minima that appear once in 1e4..1e5
+  /// measurements (Fig. 1).
+  double rare_trap_prob = 0.10;
+  /// Median weight of a rare trap (large: occupied state slashes RDT).
+  double rare_weight_med = 0.9;
+  /// Rare-trap occupancy is 10^-u with u uniform in [lo, hi].
+  double rare_occupancy_exp_lo = 3.3;
+  double rare_occupancy_exp_hi = 5.0;
+  /// Rare trap transition-rate range (1/s). Fast enough that a deep
+  /// minimum lasts only a few measurements (the paper's minima appear
+  /// as brief dips), slow enough to be visible at all.
+  double rare_rate_lo_hz = 2.0;
+  double rare_rate_hi_hz = 30.0;
+  /// Per-cell probability of a *bimodal* trap: mid occupancy, slow,
+  /// medium weight - produces the bimodal RDT histogram observed on
+  /// HBM2 Chip1 (Finding 2).
+  double bimodal_trap_prob = 0.0;
+  double bimodal_weight = 0.18;
+  /// Per-cell probability of a *heavy* trap: mid-low occupancy with a
+  /// weight large enough to slash the RDT several-fold while occupied.
+  /// A small population of such cells produces the worst-case rows of
+  /// Fig. 7 (CV up to 0.52, max/min up to 3.5x).
+  double heavy_trap_prob = 0.012;
+  double heavy_weight_med = 1.0;
+
+  // -- environmental sensitivities -----------------------------------------
+  /// Per-cell temperature coefficient sigma: threshold scales as
+  /// exp(beta * (T - 50)) with beta ~ N(temp_beta_mean, temp_beta_sigma);
+  /// per-cell sign varies, as observed for RowHammer [166].
+  double temp_beta_mean = 0.0;
+  double temp_beta_sigma = 0.004;
+  /// Trap rates speed up with temperature (per 10 degC factor).
+  double trap_rate_q10 = 1.6;
+  /// Lognormal sigma of the per-(cell, pattern) coupling jitter.
+  double pattern_jitter_sigma = 0.12;
+  /// Lognormal sigma of the per-measurement analog noise (supply and
+  /// reference fluctuations, sense-amp offsets): the continuous
+  /// component of VRD that gives RDT histograms their normal body.
+  double measurement_noise_sigma = 0.015;
+  /// Coupling factor for aggressor bits equal to the victim bit
+  /// (opposite bits couple at 1.0).
+  double same_bit_factor = 0.6;
+  /// Coupling factor for victim cells whose capacitor is discharged
+  /// under the written pattern (charged cells couple at 1.0).
+  double discharged_factor = 0.3;
+
+  /// RowPress amplification for a given aggressor-on time.
+  double PressFactor(Tick t_on) const;
+};
+
+}  // namespace vrddram::vrd
+
+#endif  // VRDDRAM_VRD_FAULT_PROFILE_H

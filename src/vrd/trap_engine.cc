@@ -1,0 +1,347 @@
+#include "vrd/trap_engine.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dram/cell_encoding.h"
+
+namespace vrddram::vrd {
+
+std::size_t SamplePoisson(Rng& rng, double lambda) {
+  VRD_FATAL_IF(lambda < 0.0, "Poisson rate must be non-negative");
+  // Knuth's product-of-uniforms method; fine for the small lambdas the
+  // fault model uses (< ~10).
+  const double limit = std::exp(-lambda);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+TrapFaultEngine::TrapFaultEngine(FaultProfile profile,
+                                 std::uint64_t device_seed,
+                                 dram::Organization org)
+    : profile_(profile), device_seed_(device_seed), org_(org) {}
+
+TrapFaultEngine::RowState TrapFaultEngine::BuildRowState(
+    dram::BankId bank, dram::PhysicalRow row, Tick now) const {
+  // Manufacturing randomness: fixed per (device, bank, row).
+  Rng rng(MixSeed(device_seed_, bank, row.value, 0xfab5));
+  RowState state;
+  state.last_restore = now;
+  state.dynamics_rng =
+      Rng(MixSeed(device_seed_, bank, row.value, 0xd114));
+
+  // Row-level process variation: one factor shared by all the row's
+  // weak cells, so their thresholds cluster.
+  const double row_scale = rng.NextLognormal(0.0, profile_.sigma_rdt);
+  const std::size_t cell_count =
+      SamplePoisson(rng, profile_.weak_cells_mean);
+  state.cells.reserve(cell_count);
+  const std::uint64_t row_bits =
+      static_cast<std::uint64_t>(org_.row_bytes) * 8;
+
+  auto log_uniform = [&rng](double lo, double hi) {
+    return lo * std::exp(rng.NextDouble() * std::log(hi / lo));
+  };
+
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    WeakCell cell;
+    cell.bit_index = static_cast<std::uint32_t>(rng.NextBelow(row_bits));
+    cell.threshold = profile_.median_rdt * row_scale *
+                     rng.NextLognormal(0.0, profile_.sigma_rdt_cell);
+    cell.alpha_above = 0.3 + 0.4 * rng.NextDouble();
+    cell.temp_beta =
+        rng.NextGaussian(profile_.temp_beta_mean, profile_.temp_beta_sigma);
+    // Per-cell noise magnitude: a minority of cells are quiet enough
+    // that quantization hides their variation under some parameter
+    // combinations (the paper's 2.9% of rows, Finding 6).
+    cell.noise_sigma =
+        profile_.measurement_noise_sigma *
+        std::min(1.5, rng.NextLognormal(0.0, 1.0));
+    for (double& j : cell.aggr_jitter) {
+      j = rng.NextLognormal(0.0, profile_.pattern_jitter_sigma);
+    }
+    for (double& j : cell.victim_jitter) {
+      j = rng.NextLognormal(0.0, profile_.pattern_jitter_sigma);
+    }
+
+    const std::size_t fast_traps =
+        SamplePoisson(rng, profile_.fast_trap_mean);
+    for (std::size_t t = 0; t < fast_traps; ++t) {
+      Trap trap;
+      trap.occupancy = 0.15 + 0.70 * rng.NextDouble();
+      trap.rate_hz =
+          log_uniform(profile_.fast_rate_lo_hz, profile_.fast_rate_hi_hz);
+      trap.weight = profile_.fast_weight_med * rng.NextLognormal(0.0, 0.25);
+      trap.occupied = rng.NextBernoulli(trap.occupancy);
+      trap.last_sample = now;
+      cell.traps.push_back(trap);
+    }
+    if (rng.NextBernoulli(profile_.rare_trap_prob)) {
+      Trap trap;
+      const double exponent =
+          profile_.rare_occupancy_exp_lo +
+          (profile_.rare_occupancy_exp_hi - profile_.rare_occupancy_exp_lo) *
+              rng.NextDouble();
+      trap.occupancy = std::pow(10.0, -exponent);
+      trap.rate_hz =
+          log_uniform(profile_.rare_rate_lo_hz, profile_.rare_rate_hi_hz);
+      trap.weight = profile_.rare_weight_med * rng.NextLognormal(0.0, 0.4);
+      trap.occupied = rng.NextBernoulli(trap.occupancy);
+      trap.last_sample = now;
+      cell.traps.push_back(trap);
+    }
+    if (rng.NextBernoulli(profile_.heavy_trap_prob)) {
+      Trap trap;
+      trap.occupancy = 0.10 + 0.40 * rng.NextDouble();
+      trap.rate_hz = log_uniform(10.0, 100.0);
+      trap.weight = profile_.heavy_weight_med * rng.NextLognormal(0.0, 0.4);
+      trap.occupied = rng.NextBernoulli(trap.occupancy);
+      trap.last_sample = now;
+      cell.traps.push_back(trap);
+    }
+    if (rng.NextBernoulli(profile_.bimodal_trap_prob)) {
+      Trap trap;
+      trap.occupancy = 0.25 + 0.30 * rng.NextDouble();
+      // Fast enough to decorrelate between measurements: the paper's
+      // bimodal HBM chip still shows a white-noise-like ACF.
+      trap.rate_hz = log_uniform(30.0, 300.0);
+      trap.weight = profile_.bimodal_weight * (0.8 + 0.4 * rng.NextDouble());
+      trap.occupied = rng.NextBernoulli(trap.occupancy);
+      trap.last_sample = now;
+      cell.traps.push_back(trap);
+    }
+    state.cells.push_back(std::move(cell));
+  }
+  return state;
+}
+
+TrapFaultEngine::RowState& TrapFaultEngine::MutableRowState(
+    dram::BankId bank, dram::PhysicalRow row, Tick now) {
+  const std::uint64_t key = Key(bank, row);
+  auto it = states_.find(key);
+  if (it == states_.end()) {
+    it = states_.emplace(key, BuildRowState(bank, row, now)).first;
+  }
+  return it->second;
+}
+
+const TrapFaultEngine::RowState& TrapFaultEngine::RowStateOf(
+    dram::BankId bank, dram::PhysicalRow row) {
+  return MutableRowState(bank, row, 0);
+}
+
+void TrapFaultEngine::AccrueDose(
+    dram::BankId bank, dram::PhysicalRow victim, bool aggressor_is_above,
+    double strength, std::uint64_t count, double press,
+    std::span<const std::uint8_t> aggressor_data, Tick now) {
+  RowState& state = MutableRowState(bank, victim, now);
+  const double base = static_cast<double>(count) * press * strength;
+  for (WeakCell& cell : state.cells) {
+    const double side =
+        aggressor_is_above ? cell.alpha_above : (1.0 - cell.alpha_above);
+    // Worst-case coupling if the aggressor content is unknown.
+    bool aggr_bit_known = false;
+    bool aggr_bit = false;
+    const std::uint32_t byte = cell.bit_index / 8;
+    if (byte < aggressor_data.size()) {
+      aggr_bit_known = true;
+      aggr_bit = (aggressor_data[byte] >> (cell.bit_index % 8)) & 1;
+    }
+    const double dose = base * side;
+    if (aggr_bit_known) {
+      cell.dose[aggr_bit ? 1 : 0] += dose;
+    } else {
+      // Split pessimistically: count it as opposite-bit coupling for
+      // either victim value by crediting both slots.
+      cell.dose[0] += dose;
+      cell.dose[1] += dose;
+    }
+  }
+}
+
+void TrapFaultEngine::OnActivations(
+    dram::BankId bank, dram::PhysicalRow aggressor, std::uint64_t count,
+    Tick t_on, Tick now, Celsius temperature,
+    std::span<const std::uint8_t> aggressor_data) {
+  (void)temperature;  // applied per-cell at evaluation time
+  if (count == 0) {
+    return;
+  }
+  const double press = profile_.PressFactor(t_on);
+  const auto max_row = org_.LargestRowAddress();
+  const std::int64_t base = aggressor.value;
+
+  struct Neighbour {
+    std::int64_t offset;
+    double strength;
+  };
+  const Neighbour neighbours[] = {
+      {-1, 1.0},
+      {+1, 1.0},
+      {-2, profile_.d2_coupling},
+      {+2, profile_.d2_coupling},
+  };
+  for (const Neighbour& nb : neighbours) {
+    const std::int64_t target = base + nb.offset;
+    if (target < 0 || target > max_row) {
+      continue;
+    }
+    // The aggressor sits above the victim when its address is larger.
+    const bool above = nb.offset < 0;
+    AccrueDose(bank, dram::PhysicalRow{static_cast<dram::RowAddr>(target)},
+               above, nb.strength, count, press, aggressor_data, now);
+  }
+}
+
+void TrapFaultEngine::OnRestore(dram::BankId bank, dram::PhysicalRow row,
+                                Tick now) {
+  const auto it = states_.find(Key(bank, row));
+  if (it == states_.end()) {
+    // Restoring a row we have never tracked: nothing accumulated.
+    return;
+  }
+  for (WeakCell& cell : it->second.cells) {
+    cell.dose[0] = 0.0;
+    cell.dose[1] = 0.0;
+  }
+  it->second.last_restore = now;
+}
+
+double TrapFaultEngine::SampleTrapBoost(RowState& state, WeakCell& cell,
+                                        Tick now, Celsius temperature) {
+  const double q10_scale =
+      std::pow(profile_.trap_rate_q10, (temperature - 50.0) / 10.0);
+  double boost = 0.0;
+  for (Trap& trap : cell.traps) {
+    const double dt =
+        units::ToSeconds(std::max<Tick>(0, now - trap.last_sample));
+    const double rate = trap.rate_hz * q10_scale;
+    const double decay = std::exp(-rate * dt);
+    const double prev = trap.occupied ? 1.0 : 0.0;
+    const double p_occupied =
+        trap.occupancy + (prev - trap.occupancy) * decay;
+    trap.occupied = state.dynamics_rng.NextBernoulli(p_occupied);
+    trap.last_sample = now;
+    if (trap.occupied) {
+      boost += trap.weight;
+    }
+  }
+  return boost;
+}
+
+std::vector<TrapFaultEngine::CellFlipPoint>
+TrapFaultEngine::PerCellFlipHammerCounts(
+    dram::BankId bank, dram::PhysicalRow victim, std::uint8_t victim_byte,
+    std::uint8_t aggressor_byte, Tick t_on, Celsius temperature,
+    const dram::CellEncodingLayout& encoding, Tick now) {
+  RowState& state = MutableRowState(bank, victim, now);
+  const double press = profile_.PressFactor(t_on);
+
+  std::vector<CellFlipPoint> points;
+  points.reserve(state.cells.size());
+  for (WeakCell& cell : state.cells) {
+    const double boost = SampleTrapBoost(state, cell, now, temperature);
+
+    const std::uint8_t bit_in_byte = cell.bit_index % 8;
+    const bool victim_bit = (victim_byte >> bit_in_byte) & 1;
+    const bool aggr_bit = (aggressor_byte >> bit_in_byte) & 1;
+
+    // Per-hammer dose: one activation of each aggressor (the paper's
+    // hammer-count convention counts activations per aggressor, so one
+    // "hammer" = both sides once: alpha_above + alpha_below = 1).
+    double per_hammer =
+        press * cell.aggr_jitter[aggr_bit ? 1 : 0] *
+        (aggr_bit != victim_bit ? 1.0 : profile_.same_bit_factor);
+    per_hammer *= cell.victim_jitter[victim_bit ? 1 : 0];
+    if (!encoding.IsCharged(victim, victim_bit)) {
+      per_hammer *= profile_.discharged_factor;
+    }
+    per_hammer *= std::exp(cell.temp_beta * (temperature - 50.0));
+    per_hammer *= 1.0 + boost;
+    // Analog measurement noise jitters the effective charge budget
+    // symmetrically (normal in the hammer-count domain).
+    const double noise = std::max(
+        0.05, 1.0 + state.dynamics_rng.NextGaussian(
+                        0.0, cell.noise_sigma));
+
+    CellFlipPoint point;
+    point.bit_index = cell.bit_index;
+    point.hammer_count =
+        (per_hammer > 0.0) ? cell.threshold * noise / per_hammer : -1.0;
+    points.push_back(point);
+  }
+  return points;
+}
+
+double TrapFaultEngine::MinFlipHammerCount(
+    dram::BankId bank, dram::PhysicalRow victim, std::uint8_t victim_byte,
+    std::uint8_t aggressor_byte, Tick t_on, Celsius temperature,
+    const dram::CellEncodingLayout& encoding, Tick now) {
+  double min_hc = -1.0;
+  for (const CellFlipPoint& point : PerCellFlipHammerCounts(
+           bank, victim, victim_byte, aggressor_byte, t_on, temperature,
+           encoding, now)) {
+    if (point.hammer_count >= 0.0 &&
+        (min_hc < 0.0 || point.hammer_count < min_hc)) {
+      min_hc = point.hammer_count;
+    }
+  }
+  return min_hc;
+}
+
+std::vector<dram::BitFlip> TrapFaultEngine::Evaluate(
+    const dram::VictimContext& ctx) {
+  std::vector<dram::BitFlip> flips;
+  const auto it = states_.find(Key(ctx.bank, ctx.row));
+  if (it == states_.end()) {
+    return flips;  // never disturbed
+  }
+  RowState& state = it->second;
+  VRD_ASSERT(ctx.encoding != nullptr);
+
+  for (WeakCell& cell : state.cells) {
+    // Advance every trap of the cell to `now` (random telegraph noise:
+    // the state at now is a Bernoulli draw conditioned on the previous
+    // state and the elapsed time).
+    const double trap_boost =
+        SampleTrapBoost(state, cell, ctx.now, ctx.temperature);
+
+    if (cell.dose[0] == 0.0 && cell.dose[1] == 0.0) {
+      continue;
+    }
+    const std::uint32_t byte = cell.bit_index / 8;
+    const std::uint8_t bit = cell.bit_index % 8;
+    if (byte >= ctx.data.size()) {
+      continue;
+    }
+    const bool victim_bit = (ctx.data[byte] >> bit) & 1;
+
+    // Coupling by aggressor-bit slot: opposite bits couple fully.
+    const std::size_t opp = victim_bit ? 0 : 1;
+    const std::size_t same = victim_bit ? 1 : 0;
+    double exposure = cell.dose[opp] * cell.aggr_jitter[opp] +
+                      cell.dose[same] * cell.aggr_jitter[same] *
+                          profile_.same_bit_factor;
+    exposure *= cell.victim_jitter[victim_bit ? 1 : 0];
+    if (!ctx.encoding->IsCharged(ctx.row, victim_bit)) {
+      exposure *= profile_.discharged_factor;
+    }
+    exposure *= std::exp(cell.temp_beta * (ctx.temperature - 50.0));
+    exposure *= 1.0 + trap_boost;
+    const double noise = std::max(
+        0.05, 1.0 + state.dynamics_rng.NextGaussian(
+                        0.0, cell.noise_sigma));
+
+    if (exposure >= cell.threshold * noise) {
+      flips.push_back(dram::BitFlip{byte, bit});
+    }
+  }
+  return flips;
+}
+
+}  // namespace vrddram::vrd

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Trap-based read-disturbance fault engine: the component that makes
+ * the simulated chips exhibit *variable read disturbance*.
+ *
+ * Physics sketch (DESIGN.md §4, paper §4.2): each row owns a sparse
+ * set of disturbance-prone weak cells. An aggressor activation injects
+ * a dose into neighbouring cells, scaled by side-dependent coupling,
+ * aggressor/victim data, RowPress amplification (tAggOn), and
+ * temperature. A cell flips once its accumulated dose, amplified by
+ * the weights of its *occupied charge traps*, crosses the cell's
+ * intrinsic threshold. Traps are two-state continuous-time Markov
+ * chains (random telegraph noise): fast low-weight traps create the
+ * multi-state, near-normal RDT histograms of Fig. 4; rare low-occupancy
+ * high-weight traps create the deep RDT minima that surface only after
+ * tens of thousands of measurements (Fig. 1).
+ *
+ * Everything is deterministic given (device seed, bank, row): a chip
+ * is a reproducible individual.
+ */
+#ifndef VRDDRAM_VRD_TRAP_ENGINE_H
+#define VRDDRAM_VRD_TRAP_ENGINE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "dram/disturbance_model.h"
+#include "dram/organization.h"
+#include "vrd/fault_profile.h"
+
+namespace vrddram::vrd {
+
+/// Sample a Poisson variate (Knuth's method; lambda is small here).
+std::size_t SamplePoisson(Rng& rng, double lambda);
+
+class TrapFaultEngine final : public dram::ReadDisturbanceModel {
+ public:
+  TrapFaultEngine(FaultProfile profile, std::uint64_t device_seed,
+                  dram::Organization org);
+
+  // -- ReadDisturbanceModel -------------------------------------------------
+  void OnActivations(dram::BankId bank, dram::PhysicalRow aggressor,
+                     std::uint64_t count, Tick t_on, Tick now,
+                     Celsius temperature,
+                     std::span<const std::uint8_t> aggressor_data) override;
+  void OnRestore(dram::BankId bank, dram::PhysicalRow row,
+                 Tick now) override;
+  std::vector<dram::BitFlip> Evaluate(
+      const dram::VictimContext& ctx) override;
+
+  // -- introspection (tests, analyses) --------------------------------------
+  /// One charge trap attached to a weak cell.
+  struct Trap {
+    double occupancy = 0.0;   ///< stationary occupied probability
+    double rate_hz = 0.0;     ///< total transition rate at 50 degC
+    double weight = 0.0;      ///< coupling boost while occupied
+    bool occupied = false;
+    Tick last_sample = 0;
+  };
+
+  /// One disturbance-prone cell of a row.
+  struct WeakCell {
+    std::uint32_t bit_index = 0;
+    double threshold = 0.0;       ///< intrinsic dose budget
+    double alpha_above = 0.5;     ///< share of coupling from row+1
+    double temp_beta = 0.0;
+    double noise_sigma = 0.0;  ///< per-cell analog noise magnitude
+    double aggr_jitter[2] = {1.0, 1.0};    ///< by aggressor bit value
+    double victim_jitter[2] = {1.0, 1.0};  ///< by victim bit value
+    double dose[2] = {0.0, 0.0};           ///< accumulated, by aggr bit
+    std::vector<Trap> traps;
+  };
+
+  struct RowState {
+    std::vector<WeakCell> cells;
+    Rng dynamics_rng{0};
+    Tick last_restore = 0;
+  };
+
+  /// Weak-cell state of a row (creates it deterministically if new).
+  const RowState& RowStateOf(dram::BankId bank, dram::PhysicalRow row);
+
+  /**
+   * Analytic fast path for profiling campaigns: the smallest
+   * double-sided hammer count that flips any weak cell of `victim`
+   * under the standard test setup (both aggressors filled with
+   * `aggressor_byte`, victim with `victim_byte`, each activation
+   * holding the row open for `t_on`), with trap states sampled at
+   * `now`. Returns a negative value if no cell can flip at any count.
+   *
+   * Behaviourally this is the continuum limit of sweeping hammer
+   * counts through the command path with trap states frozen for the
+   * duration of one measurement (tests check the correspondence).
+   */
+  double MinFlipHammerCount(dram::BankId bank, dram::PhysicalRow victim,
+                            std::uint8_t victim_byte,
+                            std::uint8_t aggressor_byte, Tick t_on,
+                            Celsius temperature,
+                            const dram::CellEncodingLayout& encoding,
+                            Tick now);
+
+  /// A weak cell's flipping hammer count under the standard setup.
+  struct CellFlipPoint {
+    std::uint32_t bit_index = 0;
+    double hammer_count = 0.0;  ///< negative: cannot flip
+  };
+
+  /**
+   * Per-cell variant of MinFlipHammerCount: the flipping hammer count
+   * of every weak cell of the victim (trap states sampled at `now`).
+   * Used by the guardband bitflip study (Fig. 16), which needs to know
+   * *which* cells flip at a given hammer count.
+   */
+  std::vector<CellFlipPoint> PerCellFlipHammerCounts(
+      dram::BankId bank, dram::PhysicalRow victim,
+      std::uint8_t victim_byte, std::uint8_t aggressor_byte, Tick t_on,
+      Celsius temperature, const dram::CellEncodingLayout& encoding,
+      Tick now);
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  RowState& MutableRowState(dram::BankId bank, dram::PhysicalRow row,
+                            Tick now);
+
+  /// Advance all traps of `cell` to `now` and return the summed weight
+  /// of the occupied ones.
+  double SampleTrapBoost(RowState& state, WeakCell& cell, Tick now,
+                         Celsius temperature);
+  RowState BuildRowState(dram::BankId bank, dram::PhysicalRow row,
+                         Tick now) const;
+
+  /// Accrue dose on one victim row from `count` aggressor activations.
+  void AccrueDose(dram::BankId bank, dram::PhysicalRow victim,
+                  bool aggressor_is_above, double strength,
+                  std::uint64_t count, double press,
+                  std::span<const std::uint8_t> aggressor_data, Tick now);
+
+  static std::uint64_t Key(dram::BankId bank, dram::PhysicalRow row) {
+    return (static_cast<std::uint64_t>(bank) << 32) | row.value;
+  }
+
+  FaultProfile profile_;
+  std::uint64_t device_seed_;
+  dram::Organization org_;
+  std::unordered_map<std::uint64_t, RowState> states_;
+};
+
+}  // namespace vrddram::vrd
+
+#endif  // VRDDRAM_VRD_TRAP_ENGINE_H

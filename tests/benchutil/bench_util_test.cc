@@ -1,0 +1,70 @@
+#include "common/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vrddram::bench {
+namespace {
+
+Flags MakeFlags(std::vector<std::string> args) {
+  std::vector<char*> argv = {const_cast<char*>("bench")};
+  for (std::string& arg : args) {
+    argv.push_back(arg.data());
+  }
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags flags = MakeFlags({});
+  EXPECT_EQ(flags.GetUint("rows", 7), 7u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ber", 1.5), 1.5);
+  EXPECT_EQ(flags.GetString("device", "H1"), "H1");
+  EXPECT_TRUE(flags.GetBool("rig", true));
+}
+
+TEST(FlagsTest, ParsesKeyValuePairs) {
+  const Flags flags = MakeFlags(
+      {"--rows=42", "--ber=0.25", "--device=M3", "--rig=false"});
+  EXPECT_EQ(flags.GetUint("rows", 0), 42u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ber", 0.0), 0.25);
+  EXPECT_EQ(flags.GetString("device", ""), "M3");
+  EXPECT_FALSE(flags.GetBool("rig", true));
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  const Flags flags = MakeFlags({"--full"});
+  EXPECT_TRUE(flags.GetBool("full", false));
+}
+
+TEST(DevicesTest, ResolvesAliases) {
+  EXPECT_EQ(ResolveDevices("all").size(), 25u);
+  EXPECT_EQ(ResolveDevices("ddr4").size(), 21u);
+  EXPECT_EQ(ResolveDevices("hbm2").size(), 4u);
+}
+
+TEST(DevicesTest, ResolvesCommaSeparatedList) {
+  const auto devices = ResolveDevices("H1,M2,Chip0");
+  ASSERT_EQ(devices.size(), 3u);
+  EXPECT_EQ(devices[0], "H1");
+  EXPECT_EQ(devices[2], "Chip0");
+  EXPECT_THROW(ResolveDevices(""), FatalError);
+}
+
+TEST(SingleRowTest, CollectsDeterministicSeries) {
+  SingleRowSeries a;
+  SingleRowSeries b;
+  ASSERT_TRUE(CollectSingleRowSeries("S2", 50, 1, &a));
+  ASSERT_TRUE(CollectSingleRowSeries("S2", 50, 1, &b));
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.series, b.series);
+  EXPECT_EQ(a.series.size(), 50u);
+}
+
+TEST(BoxTest, WrapsComputeBoxStats) {
+  const stats::BoxStats box = Box({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(box.median, 2.5);
+}
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -1,0 +1,179 @@
+#include "bender/attack_patterns.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "bender/host.h"
+
+#include "common/error.h"
+#include "vrd/trap_engine.h"
+
+namespace vrddram::bender {
+namespace {
+
+struct AttackRig {
+  AttackRig() {
+    vrd::FaultProfile profile;
+    profile.median_rdt = 5000.0;
+    profile.weak_cells_mean = 6.0;
+    profile.t_ras = dram::MakeDdr4_3200().tRAS;
+    profile.measurement_noise_sigma = 0.0;
+    profile.fast_trap_mean = 0.0;
+    profile.rare_trap_prob = 0.0;
+    profile.heavy_trap_prob = 0.0;
+
+    dram::DeviceConfig config;
+    config.org.num_banks = 1;
+    config.org.rows_per_bank = 128;
+    config.org.row_bytes = 256;
+    config.seed = 77;
+    config.has_trr = false;
+    config.row_mapping = dram::RowMappingScheme::kXorMidBits;
+    device = std::make_unique<dram::Device>(
+        config, std::make_unique<vrd::TrapFaultEngine>(
+                    profile, config.seed, config.org));
+  }
+  std::unique_ptr<dram::Device> device;
+};
+
+TEST(AttackPatternsTest, DoubleSidedPlanHasBothNeighbours) {
+  AttackRig rig;
+  const AttackPlan plan = PlanAttack(
+      *rig.device, AttackKind::kDoubleSided, 40, 1000);
+  ASSERT_EQ(plan.aggressors.size(), 2u);
+  const auto victim = rig.device->mapper().ToPhysical(40);
+  std::set<dram::RowAddr> physical;
+  for (const dram::RowAddr aggressor : plan.aggressors) {
+    physical.insert(
+        rig.device->mapper().ToPhysical(aggressor).value);
+  }
+  EXPECT_TRUE(physical.contains(victim.value - 1));
+  EXPECT_TRUE(physical.contains(victim.value + 1));
+}
+
+TEST(AttackPatternsTest, ManySidedUsesEveryOtherRow) {
+  AttackRig rig;
+  const AttackPlan plan = PlanAttack(
+      *rig.device, AttackKind::kManySided, 60, 1000, /*sides=*/6);
+  ASSERT_EQ(plan.aggressors.size(), 6u);
+  const auto victim = rig.device->mapper().ToPhysical(60).value;
+  std::set<std::int64_t> offsets;
+  for (const dram::RowAddr aggressor : plan.aggressors) {
+    offsets.insert(static_cast<std::int64_t>(
+                       rig.device->mapper().ToPhysical(aggressor).value) -
+                   static_cast<std::int64_t>(victim));
+  }
+  EXPECT_EQ(offsets, (std::set<std::int64_t>{-5, -3, -1, 1, 3, 5}));
+}
+
+TEST(AttackPatternsTest, EdgeVictimsRejected) {
+  AttackRig rig;
+  const dram::RowAddr edge = rig.device->mapper().ToLogical(
+      dram::PhysicalRow{0});
+  EXPECT_THROW(
+      PlanAttack(*rig.device, AttackKind::kDoubleSided, edge, 100),
+      FatalError);
+  EXPECT_THROW(PlanAttack(*rig.device, AttackKind::kManySided,
+                          rig.device->mapper().ToLogical(
+                              dram::PhysicalRow{2}),
+                          100, 6),
+               FatalError);
+}
+
+TEST(AttackPatternsTest, ExecuteDoubleSidedMatchesDeviceFastPath) {
+  AttackRig a;
+  AttackRig b;
+  const AttackPlan plan =
+      PlanAttack(*a.device, AttackKind::kDoubleSided, 40, 5000);
+  ExecuteAttack(*a.device, 0, plan, a.device->timing().tRAS);
+  b.device->HammerDoubleSided(0, 40, 5000, b.device->timing().tRAS);
+  EXPECT_EQ(a.device->counts().act, b.device->counts().act);
+  EXPECT_EQ(a.device->Now(), b.device->Now());
+}
+
+TEST(AttackPatternsTest, SingleSidedFlipsNeedMoreHammers) {
+  // A single aggressor delivers only one side's coupling: flipping the
+  // victim takes more activations than double-sided at equal counts.
+  AttackRig rig;
+  auto* engine =
+      dynamic_cast<vrd::TrapFaultEngine*>(&rig.device->model());
+  // A victim with weak cells.
+  dram::RowAddr victim = 0;
+  for (dram::RowAddr row = 2; row < 125; ++row) {
+    const auto phys = rig.device->mapper().ToPhysical(row);
+    if (phys.value < 2 || phys.value > 125) {
+      continue;
+    }
+    if (!engine->RowStateOf(0, phys).cells.empty()) {
+      victim = row;
+      break;
+    }
+  }
+  ASSERT_GT(victim, 0u);
+  const double rdt_double = engine->MinFlipHammerCount(
+      0, rig.device->mapper().ToPhysical(victim), 0x55, 0xAA,
+      rig.device->timing().tRAS, 50.0, rig.device->encoding(), 0);
+  ASSERT_GT(rdt_double, 0.0);
+
+  auto flips_after = [&](AttackKind kind, std::uint64_t hammers) {
+    AttackRig fresh;
+    // Initialize the victim's data so flips are observable.
+    fresh.device->BulkInitializeRow(0, victim, 0x55);
+    for (const std::int64_t d : {-1, 1}) {
+      const auto phys = fresh.device->mapper().ToPhysical(victim);
+      fresh.device->BulkInitializeRow(
+          0,
+          fresh.device->mapper().ToLogical(dram::PhysicalRow{
+              static_cast<dram::RowAddr>(phys.value + d)}),
+          0xAA);
+    }
+    const AttackPlan plan =
+        PlanAttack(*fresh.device, kind, victim, hammers);
+    ExecuteAttack(*fresh.device, 0, plan,
+                  fresh.device->timing().tRAS);
+    fresh.device->Activate(0, victim);
+    const auto data = fresh.device->ReadRow(0, victim);
+    fresh.device->Precharge(0);
+    int flips = 0;
+    for (const std::uint8_t byte : data) {
+      flips += std::popcount(static_cast<unsigned>(byte ^ 0x55));
+    }
+    return flips;
+  };
+
+  const auto hc = static_cast<std::uint64_t>(rdt_double * 1.1);
+  EXPECT_GT(flips_after(AttackKind::kDoubleSided, hc), 0);
+  EXPECT_EQ(flips_after(AttackKind::kSingleSided, hc), 0);
+  // Enough single-sided hammers eventually flip too.
+  EXPECT_GT(flips_after(AttackKind::kSingleSided, hc * 4), 0);
+}
+
+TEST(AttackPatternsTest, CompiledProgramMatchesBulkExecution) {
+  AttackRig exact;
+  AttackRig bulk;
+  const AttackPlan plan =
+      PlanAttack(*exact.device, AttackKind::kSingleSided, 40, 300);
+
+  const TestProgram program = CompileAttack(
+      *exact.device, 0, plan, exact.device->timing().tRAS);
+  ProgramRunner runner(*exact.device);
+  runner.Run(program);
+
+  ExecuteAttack(*bulk.device, 0, plan, bulk.device->timing().tRAS);
+  EXPECT_EQ(exact.device->counts().act, bulk.device->counts().act);
+  // The bulk path accounts the final precharge's tRP; the command
+  // path's clock rests at the final PRE's issue instant.
+  EXPECT_EQ(exact.device->Now() + exact.device->timing().tRP,
+            bulk.device->Now());
+}
+
+TEST(AttackPatternsTest, Names) {
+  EXPECT_EQ(ToString(AttackKind::kSingleSided), "single-sided");
+  EXPECT_EQ(ToString(AttackKind::kDoubleSided), "double-sided");
+  EXPECT_EQ(ToString(AttackKind::kManySided), "many-sided");
+}
+
+}  // namespace
+}  // namespace vrddram::bender

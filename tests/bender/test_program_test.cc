@@ -1,0 +1,127 @@
+#include "bender/test_program.h"
+
+#include <gtest/gtest.h>
+
+#include "bender/host.h"
+#include "common/error.h"
+#include "dram/device.h"
+
+namespace vrddram::bender {
+namespace {
+
+dram::DeviceConfig SmallConfig() {
+  dram::DeviceConfig config;
+  config.org.num_banks = 2;
+  config.org.rows_per_bank = 64;
+  config.org.row_bytes = 128;
+  config.seed = 11;
+  config.has_trr = false;
+  return config;
+}
+
+TEST(TestProgramTest, ValidationRejectsEmpty) {
+  TestProgram program;
+  EXPECT_THROW(program.Validate(MakeAlveoU200()), FatalError);
+}
+
+TEST(TestProgramTest, ValidationRejectsUnbalancedLoops) {
+  TestProgram open_loop;
+  open_loop.Loop(3).Act(0, 1);
+  EXPECT_THROW(open_loop.Validate(MakeAlveoU200()), FatalError);
+
+  TestProgram stray_end;
+  stray_end.Act(0, 1).EndLoop();
+  EXPECT_THROW(stray_end.Validate(MakeAlveoU200()), FatalError);
+}
+
+TEST(TestProgramTest, ValidationRejectsDeepNesting) {
+  TestProgram program;
+  for (int i = 0; i < 5; ++i) {
+    program.Loop(2);
+  }
+  program.Act(0, 1);
+  for (int i = 0; i < 5; ++i) {
+    program.EndLoop();
+  }
+  EXPECT_THROW(program.Validate(MakeAlveoU200()), FatalError);
+}
+
+TEST(TestProgramTest, ValidationRejectsOversizedPrograms) {
+  Platform tiny;
+  tiny.max_instructions = 4;
+  TestProgram program;
+  for (int i = 0; i < 5; ++i) {
+    program.Act(0, 1);
+  }
+  EXPECT_THROW(program.Validate(tiny), FatalError);
+}
+
+TEST(TestProgramTest, ZeroLoopCountRejectedAtBuild) {
+  TestProgram program;
+  EXPECT_THROW(program.Loop(0), FatalError);
+  EXPECT_THROW(program.Sleep(-5), FatalError);
+}
+
+TEST(TestProgramTest, RunnerExecutesStraightLine) {
+  dram::Device device(SmallConfig());
+  TestProgram program;
+  program.Act(0, 3)
+      .WriteRow(0, 3, 0x77)
+      .ReadRow(0, 3)
+      .Pre(0);
+  ProgramRunner runner(device);
+  const ExecutionResult result = runner.Run(program);
+  ASSERT_EQ(result.reads.size(), 1u);
+  EXPECT_EQ(result.reads[0].row, 3u);
+  for (const std::uint8_t byte : result.reads[0].data) {
+    EXPECT_EQ(byte, 0x77);
+  }
+  EXPECT_GT(result.elapsed, 0);
+}
+
+TEST(TestProgramTest, RunnerExecutesLoops) {
+  dram::Device device(SmallConfig());
+  TestProgram program;
+  program.Loop(10)
+      .Act(0, 5)
+      .Pre(0)
+      .EndLoop();
+  ProgramRunner runner(device);
+  runner.Run(program);
+  EXPECT_EQ(device.counts().act, 10u);
+  EXPECT_EQ(device.counts().pre, 10u);
+}
+
+TEST(TestProgramTest, RunnerExecutesNestedLoops) {
+  dram::Device device(SmallConfig());
+  TestProgram program;
+  program.Loop(3)
+      .Loop(4)
+      .Act(0, 5)
+      .Pre(0)
+      .EndLoop()
+      .Act(1, 6)
+      .Pre(1)
+      .EndLoop();
+  ProgramRunner runner(device);
+  runner.Run(program);
+  EXPECT_EQ(device.counts().act, 3u * 4u + 3u);
+}
+
+TEST(TestProgramTest, SleepAdvancesDeviceTime) {
+  dram::Device device(SmallConfig());
+  TestProgram program;
+  program.Sleep(5000).Sleep(2500);
+  ProgramRunner runner(device);
+  const ExecutionResult result = runner.Run(program);
+  EXPECT_EQ(result.elapsed, 7500);
+}
+
+TEST(TestProgramTest, PlatformPresets) {
+  EXPECT_EQ(MakeAlveoU200().name, "alveo-u200");
+  EXPECT_EQ(MakeAlveoU50().name, "alveo-u50");
+  EXPECT_EQ(MakeXupvvh().name, "xupvvh");
+}
+
+}  // namespace
+}  // namespace vrddram::bender

@@ -1,0 +1,79 @@
+#include "bender/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vrddram::bender {
+namespace {
+
+dram::DeviceConfig SmallConfig() {
+  dram::DeviceConfig config;
+  config.org.num_banks = 1;
+  config.org.rows_per_bank = 64;
+  config.org.row_bytes = 128;
+  config.seed = 3;
+  return config;
+}
+
+TEST(ThermalTest, StartsAtAmbient) {
+  dram::Device device(SmallConfig());
+  TemperatureController rig(device);
+  EXPECT_NEAR(rig.Current(), 25.0, 1e-9);
+  EXPECT_NEAR(device.temperature(), 25.0, 1e-9);
+}
+
+class ThermalSetpointTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThermalSetpointTest, SettlesWithinHalfDegree) {
+  dram::Device device(SmallConfig());
+  TemperatureController rig(device);
+  const double target = GetParam();
+  const Tick took = rig.SettleTo(target);
+  EXPECT_GT(took, 0);
+  EXPECT_TRUE(rig.Settled());
+  EXPECT_NEAR(rig.Current(), target, 0.5);
+  EXPECT_NEAR(device.temperature(), rig.Current(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSetpoints, ThermalSetpointTest,
+                         ::testing::Values(50.0, 65.0, 80.0));
+
+TEST(ThermalTest, HoldsTemperatureOverTime) {
+  dram::Device device(SmallConfig());
+  TemperatureController rig(device);
+  rig.SettleTo(65.0);
+  // Stay settled for a minute of continued regulation.
+  for (int i = 0; i < 60; ++i) {
+    rig.Run(units::kSecond);
+    EXPECT_NEAR(rig.Current(), 65.0, 0.6);
+  }
+}
+
+TEST(ThermalTest, AdvancesDeviceTime) {
+  dram::Device device(SmallConfig());
+  TemperatureController rig(device);
+  const Tick t0 = device.Now();
+  rig.Run(10 * units::kSecond);
+  EXPECT_EQ(device.Now() - t0, 10 * units::kSecond);
+}
+
+TEST(ThermalTest, RejectsUnreachableTargets) {
+  dram::Device device(SmallConfig());
+  TemperatureController rig(device);
+  EXPECT_THROW(rig.SetTarget(20.0), FatalError);   // below ambient
+  EXPECT_THROW(rig.SetTarget(150.0), FatalError);  // beyond safe range
+}
+
+TEST(ThermalTest, RetargetingWorks) {
+  dram::Device device(SmallConfig());
+  TemperatureController rig(device);
+  rig.SettleTo(50.0);
+  rig.SettleTo(80.0);
+  EXPECT_NEAR(rig.Current(), 80.0, 0.5);
+  rig.SettleTo(50.0);  // cooling back down (heater off, losses cool)
+  EXPECT_NEAR(rig.Current(), 50.0, 0.5);
+}
+
+}  // namespace
+}  // namespace vrddram::bender

@@ -1,0 +1,228 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vrddram {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(99);
+  const std::uint64_t first = rng.Next();
+  rng.Next();
+  rng.Reseed(99);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBelowStaysInBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(6);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParameters) {
+  Rng rng(16);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextGaussian(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) {
+    xs.push_back(rng.NextLognormal(std::log(100.0), 0.5));
+  }
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  EXPECT_NEAR(xs[25000], 100.0, 3.0);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(18);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextExponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(20);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork("child-a");
+  Rng parent2(42);
+  Rng child2 = parent2.Fork("child-a");
+  // Deterministic: same parent state + label -> same child.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child.Next(), child2.Next());
+  }
+  // Different labels -> different children.
+  Rng parent3(42);
+  Rng child3 = parent3.Fork("child-b");
+  Rng parent4(42);
+  Rng child4 = parent4.Fork("child-a");
+  EXPECT_NE(child3.Next(), child4.Next());
+}
+
+TEST(RngTest, HashLabelDistinguishesLabels) {
+  EXPECT_NE(HashLabel(1, "row=5"), HashLabel(1, "row=6"));
+  EXPECT_NE(HashLabel(1, "row=5"), HashLabel(2, "row=5"));
+  EXPECT_EQ(HashLabel(1, "row=5"), HashLabel(1, "row=5"));
+}
+
+TEST(RngTest, MixSeedOrderSensitive) {
+  EXPECT_NE(MixSeed(1, 2), MixSeed(2, 1));
+  EXPECT_NE(MixSeed(1, 2, 3), MixSeed(1, 3, 2));
+  EXPECT_EQ(MixSeed(1, 2, 3, 4), MixSeed(1, 2, 3, 4));
+}
+
+TEST(RngTest, NextBelowZeroBoundThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.NextBelow(0), PanicError);
+}
+
+}  // namespace
+}  // namespace vrddram
+
+namespace vrddram {
+namespace {
+
+// Distribution-level property: NextBelow is uniform by chi-square.
+TEST(RngTest, NextBelowUniformByChiSquare) {
+  Rng rng(123);
+  constexpr std::size_t kBuckets = 16;
+  constexpr std::size_t kDraws = 160000;
+  std::vector<double> counts(kBuckets, 0.0);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    counts[rng.NextBelow(kBuckets)] += 1.0;
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (const double count : counts) {
+    const double d = count - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 dof: reject above ~37 at alpha = 0.001.
+  EXPECT_LT(chi2, 37.0);
+}
+
+TEST(RngTest, GaussianTailMass) {
+  Rng rng(124);
+  const int n = 200000;
+  int beyond_2sigma = 0;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(rng.NextGaussian()) > 2.0) {
+      ++beyond_2sigma;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(beyond_2sigma) / n, 0.0455, 0.004);
+}
+
+}  // namespace
+}  // namespace vrddram

@@ -1,0 +1,28 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace vrddram {
+namespace {
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(units::FromNs(1.0), units::kNanosecond);
+  EXPECT_EQ(units::FromUs(1.0), units::kMicrosecond);
+  EXPECT_EQ(units::FromNs(32.0), 32000);
+  EXPECT_DOUBLE_EQ(units::ToNs(units::kSecond), 1e9);
+  EXPECT_DOUBLE_EQ(units::ToUs(units::kMillisecond), 1000.0);
+  EXPECT_DOUBLE_EQ(units::ToSeconds(units::kSecond), 1.0);
+}
+
+TEST(UnitsTest, RoundTrip) {
+  EXPECT_DOUBLE_EQ(units::ToNs(units::FromNs(13.75)), 13.75);
+  EXPECT_DOUBLE_EQ(units::ToUs(units::FromUs(7.8)), 7.8);
+}
+
+TEST(UnitsTest, FromNsRounds) {
+  // 1.816 ns (tRRD_S in Table 6) must survive the picosecond grid.
+  EXPECT_EQ(units::FromNs(1.816), 1816);
+}
+
+}  // namespace
+}  // namespace vrddram

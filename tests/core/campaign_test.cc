@@ -1,0 +1,148 @@
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace vrddram::core {
+namespace {
+
+TEST(CampaignTest, TOnResolution) {
+  const dram::TimingParams t = dram::MakeDdr4_3200();
+  EXPECT_EQ(ResolveTOn(TOnChoice::kMinTras, t), t.tRAS);
+  EXPECT_EQ(ResolveTOn(TOnChoice::kTrefi, t), t.tREFI);
+  EXPECT_EQ(ResolveTOn(TOnChoice::kNineTrefi, t), 9 * t.tREFI);
+  EXPECT_EQ(ToString(TOnChoice::kMinTras), "min-tRAS");
+  EXPECT_EQ(ToString(TOnChoice::kNineTrefi), "9xtREFI");
+}
+
+TEST(CampaignTest, RowSelectionPicksVulnerableRows) {
+  auto device = vrd::BuildDevice("M1");
+  auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());
+  ASSERT_NE(engine, nullptr);
+  const auto rows = SelectVulnerableRows(
+      *device, *engine, 0, /*per_region=*/4, /*scan_per_region=*/64,
+      dram::DataPattern::kCheckered0, device->timing().tRAS);
+  EXPECT_LE(rows.size(), 12u);
+  EXPECT_GE(rows.size(), 3u);
+  // Rows must come from the three regions of the bank.
+  const dram::RowAddr bank_rows = device->org().rows_per_bank;
+  bool in_first = false;
+  bool in_last = false;
+  for (const dram::RowAddr row : rows) {
+    if (row < 64) {
+      in_first = true;
+    }
+    if (row >= bank_rows - 64) {
+      in_last = true;
+    }
+  }
+  EXPECT_TRUE(in_first);
+  EXPECT_TRUE(in_last);
+}
+
+TEST(CampaignTest, TinyCampaignProducesAllCombinations) {
+  CampaignConfig config;
+  config.devices = {"M1"};
+  config.rows_per_device = 3;
+  config.measurements = 60;
+  config.patterns = {dram::DataPattern::kCheckered0,
+                     dram::DataPattern::kRowstripe1};
+  config.t_ons = {TOnChoice::kMinTras, TOnChoice::kTrefi};
+  config.temperatures = {50.0, 80.0};
+  config.scan_rows_per_region = 48;
+
+  const CampaignResult result = RunCampaign(config);
+  EXPECT_FALSE(result.records.empty());
+
+  std::set<std::tuple<dram::RowAddr, int, int, int>> combos;
+  for (const SeriesRecord& record : result.records) {
+    EXPECT_EQ(record.device, "M1");
+    EXPECT_EQ(record.series.size(), 60u);
+    EXPECT_GT(record.rdt_guess, 0u);
+    combos.insert({record.row, static_cast<int>(record.pattern),
+                   static_cast<int>(record.t_on),
+                   static_cast<int>(record.temperature)});
+  }
+  // Rows x patterns x t_ons x temps, all distinct.
+  EXPECT_EQ(combos.size(), result.records.size());
+  // 3 rows selected (1 per region), up to 3*2*2*2 = 24 records.
+  EXPECT_GE(result.records.size(), 8u);
+}
+
+TEST(CampaignTest, DeterministicAcrossRuns) {
+  CampaignConfig config;
+  config.devices = {"S2"};
+  config.rows_per_device = 3;
+  config.measurements = 20;
+  config.scan_rows_per_region = 32;
+  const CampaignResult a = RunCampaign(config);
+  const CampaignResult b = RunCampaign(config);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].row, b.records[i].row);
+    EXPECT_EQ(a.records[i].series, b.records[i].series);
+  }
+}
+
+TEST(CampaignTest, MetadataCarriedThrough) {
+  CampaignConfig config;
+  config.devices = {"H1"};
+  config.rows_per_device = 3;
+  config.measurements = 20;
+  config.scan_rows_per_region = 32;
+  const CampaignResult result = RunCampaign(config);
+  ASSERT_FALSE(result.records.empty());
+  EXPECT_EQ(result.records[0].mfr, vrd::Manufacturer::kMfrH);
+  EXPECT_EQ(result.records[0].density_gbit, 16u);
+  EXPECT_EQ(result.records[0].die_rev, 'C');
+}
+
+TEST(CampaignTest, InvalidConfigsThrow) {
+  CampaignConfig no_devices;
+  EXPECT_THROW(RunCampaign(no_devices), FatalError);
+  CampaignConfig no_measurements;
+  no_measurements.devices = {"M1"};
+  no_measurements.measurements = 0;
+  EXPECT_THROW(RunCampaign(no_measurements), FatalError);
+}
+
+}  // namespace
+}  // namespace vrddram::core
+
+namespace vrddram::core {
+namespace {
+
+TEST(CampaignTest, ThermalRigPathSettlesEachTemperature) {
+  CampaignConfig config;
+  config.devices = {"S2"};
+  config.rows_per_device = 3;
+  config.measurements = 15;
+  config.scan_rows_per_region = 32;
+  config.temperatures = {50.0, 80.0};
+  config.use_thermal_rig = true;
+  const CampaignResult result = RunCampaign(config);
+  ASSERT_FALSE(result.records.empty());
+  std::set<int> temps;
+  for (const SeriesRecord& record : result.records) {
+    temps.insert(static_cast<int>(record.temperature));
+  }
+  EXPECT_EQ(temps, (std::set<int>{50, 80}));
+}
+
+TEST(CampaignTest, HbmDeviceDisablesOnDieEcc) {
+  // The campaign must not silently measure through HBM2 on-die ECC
+  // (§3.1); it disables the mode register before profiling.
+  CampaignConfig config;
+  config.devices = {"Chip2"};
+  config.rows_per_device = 3;
+  config.measurements = 15;
+  config.scan_rows_per_region = 32;
+  const CampaignResult result = RunCampaign(config);
+  EXPECT_FALSE(result.records.empty());
+}
+
+}  // namespace
+}  // namespace vrddram::core

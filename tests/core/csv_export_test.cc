@@ -1,0 +1,67 @@
+#include "core/csv_export.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace vrddram::core {
+namespace {
+
+CampaignResult TinyResult() {
+  CampaignResult result;
+  SeriesRecord record;
+  record.device = "M1";
+  record.mfr = vrd::Manufacturer::kMfrM;
+  record.density_gbit = 16;
+  record.die_rev = 'F';
+  record.row = 42;
+  record.pattern = dram::DataPattern::kCheckered0;
+  record.t_on = TOnChoice::kMinTras;
+  record.temperature = 50.0;
+  record.rdt_guess = 5000;
+  record.series = {5000, 4950, -1, 5050, 5000, 4900, 5000, 5000,
+                   4950, 5000};
+  result.records.push_back(record);
+  return result;
+}
+
+TEST(CsvExportTest, SeriesLongFormat) {
+  std::ostringstream os;
+  WriteSeriesCsv(os, TinyResult());
+  const std::string csv = os.str();
+  // Header + 10 measurements.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 11);
+  EXPECT_NE(csv.find("device,row,pattern"), std::string::npos);
+  EXPECT_NE(csv.find("M1,42,Checkered0,min-tRAS,50,0,5000"),
+            std::string::npos);
+  // The no-flip sentinel survives as -1.
+  EXPECT_NE(csv.find(",2,-1"), std::string::npos);
+}
+
+TEST(CsvExportTest, SummaryFormat) {
+  std::ostringstream os;
+  WriteSummaryCsv(os, TinyResult());
+  const std::string csv = os.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  // Metadata and key analysis columns present.
+  EXPECT_NE(csv.find("M1,Mfr. M,16,F,42,Checkered0,min-tRAS,50,5000,10,9"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",4900,5050,"), std::string::npos);
+}
+
+TEST(CsvExportTest, EmptyCampaignOnlyHeaders) {
+  std::ostringstream os;
+  WriteSeriesCsv(os, CampaignResult{});
+  const std::string series_csv = os.str();
+  EXPECT_EQ(std::count(series_csv.begin(), series_csv.end(), '\n'), 1);
+  std::ostringstream os2;
+  WriteSummaryCsv(os2, CampaignResult{});
+  const std::string summary_csv = os2.str();
+  EXPECT_EQ(std::count(summary_csv.begin(), summary_csv.end(), '\n'),
+            1);
+}
+
+}  // namespace
+}  // namespace vrddram::core

@@ -1,0 +1,79 @@
+#include "core/min_rdt_mc.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace vrddram::core {
+namespace {
+
+TEST(MinRdtMcTest, DefaultsMatchPaperProcedure) {
+  const MinRdtSettings settings;
+  EXPECT_EQ(settings.sample_sizes,
+            (std::vector<std::size_t>{1, 3, 5, 10, 50, 500}));
+  EXPECT_EQ(settings.iterations, 10000u);
+  EXPECT_EQ(settings.margins.size(), 5u);
+}
+
+TEST(MinRdtMcTest, SentinelsIgnored) {
+  std::vector<std::int64_t> series(100, 1000);
+  series[0] = -1;
+  MinRdtSettings settings;
+  settings.sample_sizes = {1};
+  settings.iterations = 1000;
+  Rng rng(5);
+  const RowMinRdtResult result =
+      AnalyzeRowSeries(series, settings, rng);
+  ASSERT_EQ(result.per_n.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.per_n[0].prob_find_min, 1.0);
+}
+
+TEST(MinRdtMcTest, ProbabilityGrowsWithN) {
+  std::vector<std::int64_t> series;
+  for (int i = 0; i < 1000; ++i) {
+    series.push_back(2000 + (i * 13) % 500);
+  }
+  MinRdtSettings settings;
+  settings.iterations = 5000;
+  Rng rng(6);
+  const RowMinRdtResult result =
+      AnalyzeRowSeries(series, settings, rng);
+  for (std::size_t i = 1; i < result.per_n.size(); ++i) {
+    EXPECT_GE(result.per_n[i].prob_find_min + 0.02,
+              result.per_n[i - 1].prob_find_min);
+  }
+  // Expected normalized min decreases toward 1 with more samples.
+  EXPECT_GE(result.per_n.front().expected_norm_min,
+            result.per_n.back().expected_norm_min);
+  EXPECT_GE(result.per_n.back().expected_norm_min, 1.0);
+}
+
+TEST(MinRdtMcTest, MarginsWidenTheTarget) {
+  std::vector<std::int64_t> series;
+  for (int i = 0; i < 200; ++i) {
+    series.push_back(1000 + i * 5);  // 1000..1995
+  }
+  MinRdtSettings settings;
+  settings.sample_sizes = {1};
+  settings.iterations = 20000;
+  Rng rng(7);
+  const RowMinRdtResult result =
+      AnalyzeRowSeries(series, settings, rng);
+  const auto& margins = result.per_n[0].prob_within_margin;
+  ASSERT_EQ(margins.size(), 5u);
+  for (std::size_t i = 1; i < margins.size(); ++i) {
+    EXPECT_GE(margins[i], margins[i - 1]);
+  }
+}
+
+TEST(MinRdtMcTest, AllSentinelsThrow) {
+  const std::vector<std::int64_t> series(10, -1);
+  MinRdtSettings settings;
+  Rng rng(8);
+  EXPECT_THROW(AnalyzeRowSeries(series, settings, rng), FatalError);
+}
+
+}  // namespace
+}  // namespace vrddram::core

@@ -1,0 +1,97 @@
+#include "core/online_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/campaign.h"
+#include "vrd/chip_catalog.h"
+
+namespace vrddram::core {
+namespace {
+
+struct OnlineRig {
+  OnlineRig() {
+    device = vrd::BuildDevice("H3", 2025);
+    auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());
+    const auto rows = SelectVulnerableRows(
+        *device, *engine, 0, 1, 64, dram::DataPattern::kCheckered0,
+        device->timing().tRAS);
+    victim = rows.front();
+  }
+  std::unique_ptr<dram::Device> device;
+  dram::RowAddr victim = 0;
+};
+
+TEST(OnlineProfilerTest, NoThresholdBeforeFirstFlip) {
+  OnlineRig rig;
+  OnlineRdtProfiler online(*rig.device, rig.victim);
+  EXPECT_FALSE(online.RecommendedThreshold().has_value());
+  EXPECT_FALSE(online.observed_min().has_value());
+}
+
+TEST(OnlineProfilerTest, RunningMinimumOnlyTightens) {
+  OnlineRig rig;
+  OnlineRdtProfiler online(*rig.device, rig.victim);
+  std::optional<std::uint64_t> previous;
+  for (int window = 0; window < 40; ++window) {
+    online.RunMaintenanceWindow();
+    rig.device->Sleep(units::kSecond);
+    const auto current = online.observed_min();
+    if (previous && current) {
+      EXPECT_LE(*current, *previous);
+    }
+    if (current) {
+      previous = current;
+    }
+  }
+  ASSERT_TRUE(previous.has_value());
+  EXPECT_EQ(online.windows_run(), 40u);
+  EXPECT_GE(online.discoveries(), 1u);
+}
+
+TEST(OnlineProfilerTest, ThresholdBelowObservedMinByGuardband) {
+  OnlineRig rig;
+  OnlineRdtProfiler online(*rig.device, rig.victim);
+  for (int window = 0; window < 20; ++window) {
+    online.RunMaintenanceWindow();
+  }
+  const auto min = online.observed_min();
+  const auto threshold = online.RecommendedThreshold();
+  ASSERT_TRUE(min.has_value());
+  ASSERT_TRUE(threshold.has_value());
+  EXPECT_LT(*threshold, *min);
+  const double implied =
+      1.0 - static_cast<double>(*threshold) /
+                static_cast<double>(*min);
+  EXPECT_NEAR(implied, online.guardband(), 0.02);
+}
+
+TEST(OnlineProfilerTest, GuardbandStaysWithinBounds) {
+  OnlineRig rig;
+  OnlineProfilerConfig config;
+  config.min_guardband = 0.15;
+  config.max_guardband = 0.40;
+  OnlineRdtProfiler online(*rig.device, rig.victim, config);
+  for (int window = 0; window < 100; ++window) {
+    online.RunMaintenanceWindow();
+    EXPECT_GE(online.guardband(), config.min_guardband - 1e-12);
+    EXPECT_LE(online.guardband(), config.max_guardband + 1e-12);
+  }
+}
+
+TEST(OnlineProfilerTest, InvalidConfigsThrow) {
+  OnlineRig rig;
+  OnlineProfilerConfig no_measurements;
+  no_measurements.measurements_per_window = 0;
+  EXPECT_THROW(OnlineRdtProfiler(*rig.device, rig.victim,
+                                 no_measurements),
+               FatalError);
+  OnlineProfilerConfig inverted;
+  inverted.min_guardband = 0.5;
+  inverted.max_guardband = 0.1;
+  EXPECT_THROW(OnlineRdtProfiler(*rig.device, rig.victim, inverted),
+               FatalError);
+}
+
+}  // namespace
+}  // namespace vrddram::core

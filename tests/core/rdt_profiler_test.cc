@@ -1,0 +1,257 @@
+#include "core/rdt_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/series_analysis.h"
+#include "vrd/chip_catalog.h"
+
+namespace vrddram::core {
+namespace {
+
+struct ProfilerRig {
+  explicit ProfilerRig(double noise_sigma = 0.015) {
+    vrd::FaultProfile profile;
+    profile.median_rdt = 8000.0;
+    profile.sigma_rdt = 0.3;
+    profile.weak_cells_mean = 6.0;
+    profile.t_ras = dram::MakeDdr4_3200().tRAS;
+    profile.measurement_noise_sigma = noise_sigma;
+    profile.fast_trap_mean = 2.0;
+    profile.rare_trap_prob = 0.0;
+
+    dram::DeviceConfig config;
+    config.org.num_banks = 2;
+    config.org.rows_per_bank = 256;
+    config.org.row_bytes = 256;
+    config.seed = 909;
+    config.has_trr = false;
+    device = std::make_unique<dram::Device>(
+        config, std::make_unique<vrd::TrapFaultEngine>(
+                    profile, config.seed, config.org));
+  }
+  std::unique_ptr<dram::Device> device;
+};
+
+TEST(RdtProfilerTest, FindVictimRespectsThreshold) {
+  ProfilerRig rig;
+  ProfilerConfig pc;
+  pc.find_victim_threshold = 40000;
+  RdtProfiler profiler(*rig.device, pc);
+  const auto victim = profiler.FindVictim(1, 255);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_LT(victim->rdt_guess, 40000u);
+  EXPECT_GT(victim->rdt_guess, 0u);
+}
+
+TEST(RdtProfilerTest, MeasurementsLandOnTheSweepGrid) {
+  ProfilerRig rig;
+  ProfilerConfig pc;
+  RdtProfiler profiler(*rig.device, pc);
+  const auto victim = profiler.FindVictim(1, 255);
+  ASSERT_TRUE(victim.has_value());
+
+  const std::uint64_t guess = victim->rdt_guess;
+  const std::uint64_t lo = guess / 2;
+  const std::uint64_t step = std::max<std::uint64_t>(1, guess / 100);
+  const auto series = profiler.MeasureSeries(victim->row, guess, 200);
+  ASSERT_EQ(series.size(), 200u);
+  for (const std::int64_t rdt : series) {
+    if (rdt == kNoFlip) {
+      continue;
+    }
+    EXPECT_GE(static_cast<std::uint64_t>(rdt), lo);
+    EXPECT_LT(static_cast<std::uint64_t>(rdt), guess * 3);
+    EXPECT_EQ((static_cast<std::uint64_t>(rdt) - lo) % step, 0u)
+        << "observed RDT must be a sweep grid point";
+  }
+}
+
+TEST(RdtProfilerTest, SeriesShowsTemporalVariation) {
+  ProfilerRig rig;
+  ProfilerConfig pc;
+  RdtProfiler profiler(*rig.device, pc);
+  const auto victim = profiler.FindVictim(1, 255);
+  ASSERT_TRUE(victim.has_value());
+  const auto series =
+      profiler.MeasureSeries(victim->row, victim->rdt_guess, 500);
+  const SeriesAnalysis analysis = AnalyzeSeries(series);
+  EXPECT_GT(analysis.unique_values, 1u) << "VRD must be visible";
+  EXPECT_GT(analysis.cv, 0.0);
+}
+
+TEST(RdtProfilerTest, TimeAdvancesWithMeasurements) {
+  ProfilerRig rig;
+  ProfilerConfig pc;
+  RdtProfiler profiler(*rig.device, pc);
+  const auto victim = profiler.FindVictim(1, 255);
+  ASSERT_TRUE(victim.has_value());
+  const Tick t0 = rig.device->Now();
+  profiler.MeasureSeries(victim->row, victim->rdt_guess, 10);
+  const Tick elapsed = rig.device->Now() - t0;
+  // 10 sweeps of thousands of hammers each take milliseconds+.
+  EXPECT_GT(elapsed, units::kMillisecond);
+}
+
+TEST(RdtProfilerTest, BulkModeAgreesWithAnalyticStatistically) {
+  // Two identical rigs, one profiled per sweep step through device
+  // commands, one through the analytic fast path: the RDT estimates
+  // must agree within a few percent.
+  ProfilerRig bulk_rig;
+  ProfilerRig analytic_rig;
+  const auto victim_row = [&] {
+    ProfilerConfig pc;
+    RdtProfiler probe(*analytic_rig.device, pc);
+    const auto victim = probe.FindVictim(1, 255);
+    EXPECT_TRUE(victim.has_value());
+    return *victim;
+  }();
+
+  ProfilerConfig bulk_pc;
+  bulk_pc.mode = SweepMode::kBulk;
+  RdtProfiler bulk(*bulk_rig.device, bulk_pc);
+  ProfilerConfig analytic_pc;
+  analytic_pc.mode = SweepMode::kAnalytic;
+  RdtProfiler analytic(*analytic_rig.device, analytic_pc);
+
+  const auto bulk_series =
+      bulk.MeasureSeries(victim_row.row, victim_row.rdt_guess, 40);
+  const auto analytic_series =
+      analytic.MeasureSeries(victim_row.row, victim_row.rdt_guess, 40);
+  const double bulk_mean =
+      AnalyzeSeries(bulk_series, 10).mean;
+  const double analytic_mean =
+      AnalyzeSeries(analytic_series, 10).mean;
+  EXPECT_NEAR(bulk_mean / analytic_mean, 1.0, 0.05);
+}
+
+TEST(RdtProfilerTest, CommandLevelModeAgreesOnDeterministicDevice) {
+  // Without measurement noise the per-command and bulk paths follow
+  // identical trap trajectories and must agree exactly.
+  ProfilerRig exact_rig(0.0);
+  ProfilerRig bulk_rig(0.0);
+  ProfilerRig analytic_rig(0.0);
+
+  ProfilerConfig seed_pc;
+  RdtProfiler probe(*analytic_rig.device, seed_pc);
+  const auto victim = probe.FindVictim(1, 255);
+  ASSERT_TRUE(victim.has_value());
+
+  ProfilerConfig pc;
+  pc.mode = SweepMode::kCommandLevel;
+  RdtProfiler exact(*exact_rig.device, pc);
+  pc.mode = SweepMode::kBulk;
+  RdtProfiler bulk(*bulk_rig.device, pc);
+
+  const std::int64_t exact_rdt =
+      exact.MeasureOnce(victim->row, victim->rdt_guess);
+  const std::int64_t bulk_rdt =
+      bulk.MeasureOnce(victim->row, victim->rdt_guess);
+  EXPECT_EQ(exact_rdt, bulk_rdt);
+}
+
+TEST(RdtProfilerTest, GuessIsCloseToSeriesMean) {
+  ProfilerRig rig;
+  ProfilerConfig pc;
+  RdtProfiler profiler(*rig.device, pc);
+  const auto victim = profiler.FindVictim(1, 255);
+  ASSERT_TRUE(victim.has_value());
+  const auto series =
+      profiler.MeasureSeries(victim->row, victim->rdt_guess, 300);
+  const double mean = AnalyzeSeries(series).mean;
+  EXPECT_NEAR(mean / static_cast<double>(victim->rdt_guess), 1.0, 0.15);
+}
+
+TEST(RdtProfilerTest, InvalidConfigsThrow) {
+  ProfilerRig rig;
+  ProfilerConfig bad;
+  bad.sweep_lo_frac = 0.0;
+  EXPECT_THROW(RdtProfiler(*rig.device, bad), FatalError);
+  ProfilerConfig inverted;
+  inverted.sweep_lo_frac = 2.0;
+  inverted.sweep_hi_frac = 1.0;
+  EXPECT_THROW(RdtProfiler(*rig.device, inverted), FatalError);
+  ProfilerConfig bad_bank;
+  bad_bank.bank = 99;
+  EXPECT_THROW(RdtProfiler(*rig.device, bad_bank), FatalError);
+
+  // Analytic mode requires a trap engine.
+  dram::DeviceConfig plain_config;
+  plain_config.org.num_banks = 1;
+  plain_config.org.rows_per_bank = 64;
+  plain_config.org.row_bytes = 128;
+  dram::Device plain(plain_config);
+  ProfilerConfig analytic;
+  analytic.mode = SweepMode::kAnalytic;
+  EXPECT_THROW(RdtProfiler(plain, analytic), FatalError);
+}
+
+TEST(RdtProfilerTest, MeasureOnceRejectsZeroGuess) {
+  ProfilerRig rig;
+  ProfilerConfig pc;
+  RdtProfiler profiler(*rig.device, pc);
+  EXPECT_THROW(profiler.MeasureOnce(5, 0), FatalError);
+}
+
+}  // namespace
+}  // namespace vrddram::core
+
+namespace vrddram::core {
+namespace {
+
+TEST(RdtProfilerTest, NoFlipRecordedWhenGridTooLow) {
+  // A deliberately absurd guess places the whole sweep grid far below
+  // any flipping count: every measurement records kNoFlip, and device
+  // time still advances by the full sweep duration.
+  ProfilerRig rig;
+  ProfilerConfig pc;
+  RdtProfiler profiler(*rig.device, pc);
+  const auto victim = profiler.FindVictim(1, 255);
+  ASSERT_TRUE(victim.has_value());
+
+  const Tick t0 = rig.device->Now();
+  const std::int64_t rdt = profiler.MeasureOnce(victim->row, 4);
+  EXPECT_EQ(rdt, kNoFlip);
+  EXPECT_GT(rig.device->Now(), t0);
+}
+
+TEST(RdtProfilerTest, GuessRdtNulloptForInvulnerableRow) {
+  // A row whose physical neighbourhood has no weak cells never flips.
+  ProfilerRig rig;
+  auto* engine =
+      dynamic_cast<vrd::TrapFaultEngine*>(&rig.device->model());
+  ProfilerConfig pc;
+  RdtProfiler profiler(*rig.device, pc);
+  for (dram::RowAddr row = 1; row < 255; ++row) {
+    const auto phys = rig.device->mapper().ToPhysical(row);
+    if (phys.value == 0 || phys.value >= 255) {
+      continue;
+    }
+    if (engine->RowStateOf(0, phys).cells.empty()) {
+      EXPECT_FALSE(profiler.GuessRdt(row).has_value());
+      return;
+    }
+  }
+  GTEST_SKIP() << "every scanned row had weak cells";
+}
+
+TEST(RdtProfilerTest, RowPressProfilerUsesConfiguredTOn) {
+  ProfilerRig rig;
+  ProfilerConfig fast_pc;
+  RdtProfiler fast(*rig.device, fast_pc);
+  const auto victim = fast.FindVictim(1, 255);
+  ASSERT_TRUE(victim.has_value());
+
+  ProfilerConfig press_pc;
+  press_pc.t_on = rig.device->timing().tREFI;
+  RdtProfiler press(*rig.device, press_pc);
+  EXPECT_EQ(press.EffectiveTOn(), rig.device->timing().tREFI);
+  const auto press_guess = press.GuessRdt(victim->row);
+  ASSERT_TRUE(press_guess.has_value());
+  EXPECT_LT(*press_guess, victim->rdt_guess);
+}
+
+}  // namespace
+}  // namespace vrddram::core

@@ -1,0 +1,107 @@
+#include "dram/bank.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vrddram::dram {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  BankTest() : timing_(MakeDdr4_3200()), bank_(&timing_) {}
+  TimingParams timing_;
+  Bank bank_;
+};
+
+TEST_F(BankTest, StartsIdle) {
+  EXPECT_EQ(bank_.state(), BankState::kIdle);
+}
+
+TEST_F(BankTest, ActivateOpensRow) {
+  bank_.Activate(PhysicalRow{42}, 0);
+  EXPECT_EQ(bank_.state(), BankState::kActive);
+  EXPECT_EQ(bank_.open_row().value, 42u);
+}
+
+TEST_F(BankTest, DoubleActivateThrows) {
+  bank_.Activate(PhysicalRow{1}, 0);
+  EXPECT_THROW(bank_.Activate(PhysicalRow{2}, timing_.tRC), FatalError);
+}
+
+TEST_F(BankTest, PrechargeIdleThrows) {
+  EXPECT_THROW(bank_.Precharge(100), FatalError);
+}
+
+TEST_F(BankTest, PrechargeHonorsTras) {
+  bank_.Activate(PhysicalRow{1}, 0);
+  // Earliest PRE is tRAS after ACT.
+  EXPECT_EQ(bank_.EarliestPrecharge(0), timing_.tRAS);
+  EXPECT_THROW(bank_.Precharge(timing_.tRAS - 1), FatalError);
+}
+
+TEST_F(BankTest, PrechargeReturnsOpenTime) {
+  bank_.Activate(PhysicalRow{1}, 0);
+  const Tick open_time = bank_.Precharge(timing_.tRAS + 1000);
+  EXPECT_EQ(open_time, timing_.tRAS + 1000);
+  EXPECT_EQ(bank_.state(), BankState::kIdle);
+}
+
+TEST_F(BankTest, ActToActHonorsTrc) {
+  bank_.Activate(PhysicalRow{1}, 0);
+  bank_.Precharge(timing_.tRAS);
+  EXPECT_EQ(bank_.EarliestActivate(0), timing_.tRAS + timing_.tRP);
+}
+
+TEST_F(BankTest, ReadAfterActivateHonorsTrcd) {
+  bank_.Activate(PhysicalRow{1}, 0);
+  EXPECT_EQ(bank_.EarliestRead(0), timing_.tRCD);
+  EXPECT_THROW(bank_.Read(timing_.tRCD - 1), FatalError);
+  const Tick data_end = bank_.Read(timing_.tRCD);
+  EXPECT_EQ(data_end, timing_.tRCD + timing_.tCL + timing_.tBL);
+}
+
+TEST_F(BankTest, BackToBackReadsHonorTccd) {
+  bank_.Activate(PhysicalRow{1}, 0);
+  bank_.Read(timing_.tRCD);
+  EXPECT_EQ(bank_.EarliestRead(0), timing_.tRCD + timing_.tCCD_L);
+}
+
+TEST_F(BankTest, ReadDelaysPrechargeByTrtp) {
+  bank_.Activate(PhysicalRow{1}, 0);
+  const Tick read_at = timing_.tRAS;  // read late in the open window
+  bank_.Read(read_at);
+  EXPECT_EQ(bank_.EarliestPrecharge(0), read_at + timing_.tRTP);
+}
+
+TEST_F(BankTest, WriteRecoveryDelaysPrecharge) {
+  bank_.Activate(PhysicalRow{1}, 0);
+  const Tick data_end = bank_.Write(timing_.tRCD);
+  EXPECT_EQ(data_end, timing_.tRCD + timing_.tCWL + timing_.tBL);
+  EXPECT_EQ(bank_.EarliestPrecharge(0), data_end + timing_.tWR);
+}
+
+TEST_F(BankTest, BackToBackWritesHonorTccdLWr) {
+  bank_.Activate(PhysicalRow{1}, 0);
+  bank_.Write(timing_.tRCD);
+  EXPECT_EQ(bank_.EarliestWrite(0), timing_.tRCD + timing_.tCCD_L_WR);
+}
+
+TEST_F(BankTest, ReadOrWriteOnIdleBankThrows) {
+  EXPECT_THROW(bank_.Read(0), FatalError);
+  EXPECT_THROW(bank_.Write(0), FatalError);
+}
+
+TEST_F(BankTest, SyncAfterBulkSetsTimestamps) {
+  bank_.SyncAfterBulk(1000, 1000 + timing_.tRAS);
+  EXPECT_EQ(bank_.EarliestActivate(0),
+            1000 + timing_.tRAS + timing_.tRP);
+}
+
+TEST_F(BankTest, SyncAfterBulkRequiresIdle) {
+  bank_.Activate(PhysicalRow{1}, 0);
+  EXPECT_THROW(bank_.SyncAfterBulk(0, timing_.tRAS), FatalError);
+}
+
+}  // namespace
+}  // namespace vrddram::dram

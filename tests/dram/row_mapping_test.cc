@@ -1,0 +1,82 @@
+#include "dram/row_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace vrddram::dram {
+namespace {
+
+class RowMappingSchemeTest
+    : public ::testing::TestWithParam<RowMappingScheme> {};
+
+TEST_P(RowMappingSchemeTest, RoundTripsForAllRowsInAGroup) {
+  const RowMapper mapper(GetParam(), 1u << 10);
+  for (RowAddr row = 0; row < (1u << 10); ++row) {
+    const PhysicalRow phys = mapper.ToPhysical(row);
+    EXPECT_EQ(mapper.ToLogical(phys), row);
+  }
+}
+
+TEST_P(RowMappingSchemeTest, IsBijective) {
+  const RowMapper mapper(GetParam(), 256);
+  std::set<RowAddr> images;
+  for (RowAddr row = 0; row < 256; ++row) {
+    images.insert(mapper.ToPhysical(row).value);
+  }
+  EXPECT_EQ(images.size(), 256u);
+}
+
+TEST_P(RowMappingSchemeTest, StaysWithinSixteenRowGroups) {
+  const RowMapper mapper(GetParam(), 1u << 12);
+  for (RowAddr row = 0; row < (1u << 12); ++row) {
+    const PhysicalRow phys = mapper.ToPhysical(row);
+    EXPECT_EQ(row / 16, phys.value / 16)
+        << "remapping must not cross 16-row groups";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, RowMappingSchemeTest,
+                         ::testing::Values(RowMappingScheme::kDirect,
+                                           RowMappingScheme::kXorMidBits,
+                                           RowMappingScheme::kPairSwap16));
+
+TEST(RowMappingTest, DirectIsIdentity) {
+  const RowMapper mapper(RowMappingScheme::kDirect, 64);
+  for (RowAddr row = 0; row < 64; ++row) {
+    EXPECT_EQ(mapper.ToPhysical(row).value, row);
+  }
+}
+
+TEST(RowMappingTest, XorMidBitsScramblesUpperHalfOfGroups) {
+  const RowMapper mapper(RowMappingScheme::kXorMidBits, 64);
+  // Rows 0..3 (bit2 = 0) unchanged; rows 4..7 swizzled.
+  EXPECT_EQ(mapper.ToPhysical(0).value, 0u);
+  EXPECT_EQ(mapper.ToPhysical(4).value, 7u);
+  EXPECT_EQ(mapper.ToPhysical(5).value, 6u);
+}
+
+TEST(RowMappingTest, PairSwap16SwapsUpperPairs) {
+  const RowMapper mapper(RowMappingScheme::kPairSwap16, 64);
+  EXPECT_EQ(mapper.ToPhysical(3).value, 3u);
+  EXPECT_EQ(mapper.ToPhysical(8).value, 9u);
+  EXPECT_EQ(mapper.ToPhysical(9).value, 8u);
+  EXPECT_EQ(mapper.ToPhysical(14).value, 15u);
+}
+
+TEST(RowMappingTest, InvalidConstruction) {
+  EXPECT_THROW(RowMapper(RowMappingScheme::kDirect, 0), FatalError);
+  EXPECT_THROW(RowMapper(RowMappingScheme::kDirect, 100), FatalError);
+  EXPECT_THROW(RowMapper(RowMappingScheme::kDirect, 8), FatalError);
+}
+
+TEST(RowMappingTest, OutOfRangeAddressesThrow) {
+  const RowMapper mapper(RowMappingScheme::kDirect, 64);
+  EXPECT_THROW(mapper.ToPhysical(64), FatalError);
+  EXPECT_THROW(mapper.ToLogical(PhysicalRow{64}), FatalError);
+}
+
+}  // namespace
+}  // namespace vrddram::dram

@@ -1,0 +1,78 @@
+#include "dram/types.h"
+
+#include <gtest/gtest.h>
+
+namespace vrddram::dram {
+namespace {
+
+// Table 2 of the paper.
+TEST(TypesTest, Table2PatternBytes) {
+  EXPECT_EQ(VictimByte(DataPattern::kRowstripe0), 0x00);
+  EXPECT_EQ(AggressorByte(DataPattern::kRowstripe0), 0xFF);
+  EXPECT_EQ(SurroundByte(DataPattern::kRowstripe0), 0x00);
+
+  EXPECT_EQ(VictimByte(DataPattern::kRowstripe1), 0xFF);
+  EXPECT_EQ(AggressorByte(DataPattern::kRowstripe1), 0x00);
+  EXPECT_EQ(SurroundByte(DataPattern::kRowstripe1), 0xFF);
+
+  EXPECT_EQ(VictimByte(DataPattern::kCheckered0), 0x55);
+  EXPECT_EQ(AggressorByte(DataPattern::kCheckered0), 0xAA);
+  EXPECT_EQ(SurroundByte(DataPattern::kCheckered0), 0x55);
+
+  EXPECT_EQ(VictimByte(DataPattern::kCheckered1), 0xAA);
+  EXPECT_EQ(AggressorByte(DataPattern::kCheckered1), 0x55);
+  EXPECT_EQ(SurroundByte(DataPattern::kCheckered1), 0xAA);
+}
+
+TEST(TypesTest, AggressorsAlwaysOpposeVictims) {
+  for (const DataPattern p : kAllDataPatterns) {
+    EXPECT_EQ(VictimByte(p) ^ AggressorByte(p), 0xFF);
+  }
+}
+
+TEST(TypesTest, PatternNames) {
+  EXPECT_EQ(ToString(DataPattern::kRowstripe0), "Rowstripe0");
+  EXPECT_EQ(ToString(DataPattern::kCheckered1), "Checkered1");
+}
+
+TEST(TypesTest, BitFlipIndexing) {
+  const BitFlip flip{/*byte_offset=*/3, /*bit=*/5};
+  EXPECT_EQ(flip.BitIndex(), 29u);
+  EXPECT_EQ(flip, (BitFlip{3, 5}));
+  EXPECT_NE(flip, (BitFlip{3, 4}));
+}
+
+TEST(TypesTest, PhysicalRowComparable) {
+  EXPECT_EQ(PhysicalRow{5}, PhysicalRow{5});
+  EXPECT_LT(PhysicalRow{4}, PhysicalRow{5});
+}
+
+}  // namespace
+}  // namespace vrddram::dram
+
+namespace vrddram::dram {
+namespace {
+
+TEST(TypesTest, DiffBitsFindsEveryFlippedBit) {
+  std::vector<std::uint8_t> data(16, 0x55);
+  data[3] ^= 0x01;   // bit 0
+  data[3] ^= 0x80;   // bit 7 (same byte)
+  data[10] ^= 0x10;  // bit 4
+  const auto flips = DiffBits(data, 0x55);
+  ASSERT_EQ(flips.size(), 3u);
+  EXPECT_EQ(flips[0], (BitFlip{3, 0}));
+  EXPECT_EQ(flips[1], (BitFlip{3, 7}));
+  EXPECT_EQ(flips[2], (BitFlip{10, 4}));
+  EXPECT_EQ(CountDiffBits(data, 0x55), 3u);
+}
+
+TEST(TypesTest, DiffBitsCleanData) {
+  const std::vector<std::uint8_t> data(32, 0xAA);
+  EXPECT_TRUE(DiffBits(data, 0xAA).empty());
+  EXPECT_EQ(CountDiffBits(data, 0xAA), 0u);
+  // Fully inverted: every bit differs.
+  EXPECT_EQ(CountDiffBits(data, 0x55), 32u * 8u);
+}
+
+}  // namespace
+}  // namespace vrddram::dram

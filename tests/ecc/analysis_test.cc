@@ -1,0 +1,143 @@
+#include "ecc/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ecc/chipkill.h"
+#include "ecc/hamming.h"
+
+namespace vrddram::ecc {
+namespace {
+
+TEST(BinomialTest, PmfKnownValues) {
+  EXPECT_NEAR(BinomialPmf(10, 0, 0.5), 1.0 / 1024.0, 1e-12);
+  EXPECT_NEAR(BinomialPmf(10, 5, 0.5), 252.0 / 1024.0, 1e-12);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 6, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 2, 0.0), 0.0);
+}
+
+TEST(BinomialTest, TailComplementsPmf) {
+  double total = 0.0;
+  for (std::size_t k = 0; k <= 20; ++k) {
+    total += BinomialPmf(20, k, 0.3);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(BinomialTail(20, 0, 0.3), 1.0, 1e-12);
+  EXPECT_NEAR(BinomialTail(20, 21, 0.3), 0.0, 1e-12);
+  EXPECT_NEAR(BinomialTail(20, 3, 0.3),
+              1.0 - BinomialPmf(20, 0, 0.3) - BinomialPmf(20, 1, 0.3) -
+                  BinomialPmf(20, 2, 0.3),
+              1e-12);
+}
+
+// Table 3 of the paper, at the empirically observed worst bit error
+// rate of 7.6e-5 (5 bitflips in a 64 Kibit row).
+TEST(AnalysisTest, Table3Sec) {
+  const ErrorProbabilities p =
+      AnalyzeCode(CodeKind::kSec, kPaperWorstBer);
+  EXPECT_NEAR(p.uncorrectable, 1.48e-5, 0.05e-5);
+  EXPECT_NEAR(p.undetectable, 1.48e-5, 0.05e-5);
+  EXPECT_LT(p.detectable_uncorrectable, 0.0);  // N/A
+}
+
+TEST(AnalysisTest, Table3Secded) {
+  const ErrorProbabilities p =
+      AnalyzeCode(CodeKind::kSecded, kPaperWorstBer);
+  EXPECT_NEAR(p.uncorrectable, 1.48e-5, 0.05e-5);
+  EXPECT_NEAR(p.undetectable, 2.64e-8, 0.15e-8);
+  EXPECT_NEAR(p.detectable_uncorrectable, 1.48e-5, 0.05e-5);
+}
+
+TEST(AnalysisTest, Table3Chipkill) {
+  const ErrorProbabilities p =
+      AnalyzeCode(CodeKind::kChipkill, kPaperWorstBer);
+  EXPECT_NEAR(p.uncorrectable, 5.66e-5, 0.1e-5);
+  EXPECT_NEAR(p.undetectable, 5.66e-5, 0.1e-5);
+}
+
+TEST(AnalysisTest, ProbabilitiesGrowWithBer) {
+  for (const CodeKind kind :
+       {CodeKind::kSec, CodeKind::kSecded, CodeKind::kChipkill}) {
+    const double low = AnalyzeCode(kind, 1e-6).uncorrectable;
+    const double high = AnalyzeCode(kind, 1e-4).uncorrectable;
+    EXPECT_GT(high, low);
+  }
+}
+
+// Monte Carlo cross-check: inject i.i.d. bit errors into real
+// codewords and compare uncorrectable rates against the analytic
+// model.
+TEST(AnalysisTest, MonteCarloSecdedMatchesAnalytic) {
+  const Hamming72 codec;
+  Rng rng(55);
+  const double ber = 2e-3;  // inflated so the MC converges quickly
+  const int trials = 200000;
+  int uncorrectable = 0;
+  const std::uint64_t data = 0x1122334455667788ull;
+  const Codeword72 clean = codec.Encode(data);
+  for (int t = 0; t < trials; ++t) {
+    Codeword72 word = clean;
+    int flips = 0;
+    for (std::size_t bit = 0; bit < 72; ++bit) {
+      if (rng.NextBernoulli(ber)) {
+        word.FlipBit(bit);
+        ++flips;
+      }
+    }
+    if (flips == 0) {
+      continue;
+    }
+    const DecodeResult result = codec.Decode(word);
+    if (result.status == DecodeStatus::kDetected ||
+        result.data != data) {
+      ++uncorrectable;
+    }
+  }
+  const double analytic =
+      AnalyzeCode(CodeKind::kSecded, ber).uncorrectable;
+  EXPECT_NEAR(static_cast<double>(uncorrectable) / trials, analytic,
+              analytic * 0.15);
+}
+
+TEST(AnalysisTest, MonteCarloChipkillMatchesAnalytic) {
+  const ChipkillSsc codec;
+  Rng rng(56);
+  const double ber = 2e-3;
+  const int trials = 100000;
+  int uncorrectable = 0;
+  std::array<std::uint8_t, 16> data{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 17);
+  }
+  const CodewordSsc clean = codec.Encode(data);
+  for (int t = 0; t < trials; ++t) {
+    CodewordSsc word = clean;
+    for (std::size_t symbol = 0; symbol < 18; ++symbol) {
+      for (int bit = 0; bit < 8; ++bit) {
+        if (rng.NextBernoulli(ber)) {
+          word.symbols[symbol] ^= static_cast<std::uint8_t>(1 << bit);
+        }
+      }
+    }
+    const SscDecodeResult result = codec.Decode(word);
+    if (result.status == DecodeStatus::kDetected ||
+        result.data != data) {
+      ++uncorrectable;
+    }
+  }
+  const double analytic =
+      AnalyzeCode(CodeKind::kChipkill, ber).uncorrectable;
+  EXPECT_NEAR(static_cast<double>(uncorrectable) / trials, analytic,
+              analytic * 0.15);
+}
+
+TEST(AnalysisTest, Names) {
+  EXPECT_EQ(ToString(CodeKind::kSec), "SEC");
+  EXPECT_EQ(ToString(CodeKind::kSecded), "SECDED");
+  EXPECT_EQ(ToString(CodeKind::kChipkill), "Chipkill-like (SSC)");
+}
+
+}  // namespace
+}  // namespace vrddram::ecc

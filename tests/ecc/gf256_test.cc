@@ -1,0 +1,88 @@
+#include "ecc/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vrddram::ecc {
+namespace {
+
+TEST(Gf256Test, AdditionIsXor) {
+  const Gf256& gf = Gf256::Instance();
+  EXPECT_EQ(gf.Add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(gf.Add(0xFF, 0xFF), 0);
+}
+
+TEST(Gf256Test, MultiplicativeIdentityAndZero) {
+  const Gf256& gf = Gf256::Instance();
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(gf.Mul(static_cast<std::uint8_t>(a), 1),
+              static_cast<std::uint8_t>(a));
+    EXPECT_EQ(gf.Mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256Test, EveryNonzeroElementHasInverse) {
+  const Gf256& gf = Gf256::Instance();
+  for (unsigned a = 1; a < 256; ++a) {
+    const std::uint8_t inv = gf.Inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(gf.Mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+  }
+}
+
+TEST(Gf256Test, DivisionInvertsMultiplication) {
+  const Gf256& gf = Gf256::Instance();
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.NextBelow(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.NextBelow(255));
+    EXPECT_EQ(gf.Div(gf.Mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256Test, MultiplicationCommutesAndAssociates) {
+  const Gf256& gf = Gf256::Instance();
+  Rng rng(14);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.NextBelow(256));
+    const auto b = static_cast<std::uint8_t>(rng.NextBelow(256));
+    const auto c = static_cast<std::uint8_t>(rng.NextBelow(256));
+    EXPECT_EQ(gf.Mul(a, b), gf.Mul(b, a));
+    EXPECT_EQ(gf.Mul(gf.Mul(a, b), c), gf.Mul(a, gf.Mul(b, c)));
+    // Distributivity over addition.
+    EXPECT_EQ(gf.Mul(a, gf.Add(b, c)),
+              gf.Add(gf.Mul(a, b), gf.Mul(a, c)));
+  }
+}
+
+TEST(Gf256Test, ExpLogRoundTrip) {
+  const Gf256& gf = Gf256::Instance();
+  for (unsigned a = 1; a < 256; ++a) {
+    EXPECT_EQ(gf.Exp(gf.Log(static_cast<std::uint8_t>(a))),
+              static_cast<std::uint8_t>(a));
+  }
+  // alpha^255 == 1 (multiplicative group order).
+  EXPECT_EQ(gf.Exp(255), 1);
+  EXPECT_EQ(gf.Exp(0), 1);
+  EXPECT_EQ(gf.Exp(-255), 1);
+}
+
+TEST(Gf256Test, PrimitiveElementGeneratesField) {
+  const Gf256& gf = Gf256::Instance();
+  std::set<std::uint8_t> seen;
+  for (int i = 0; i < 255; ++i) {
+    seen.insert(gf.Exp(i));
+  }
+  EXPECT_EQ(seen.size(), 255u);
+}
+
+TEST(Gf256Test, InvalidOperationsThrow) {
+  const Gf256& gf = Gf256::Instance();
+  EXPECT_THROW(gf.Inv(0), FatalError);
+  EXPECT_THROW(gf.Div(5, 0), FatalError);
+  EXPECT_THROW(gf.Log(0), FatalError);
+}
+
+}  // namespace
+}  // namespace vrddram::ecc

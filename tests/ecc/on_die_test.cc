@@ -1,0 +1,77 @@
+#include "ecc/on_die.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vrddram::ecc {
+namespace {
+
+std::vector<std::uint8_t> RandomRow(std::size_t bytes, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> data(bytes);
+  for (auto& byte : data) {
+    byte = static_cast<std::uint8_t>(rng.NextBelow(256));
+  }
+  return data;
+}
+
+TEST(OnDieSecTest, CleanRowDecodesUntouched) {
+  const std::vector<std::uint8_t> original = RandomRow(256, 1);
+  std::vector<std::uint8_t> data = original;
+  const auto parity = OnDieSec::EncodeParity(data);
+  const auto stats = OnDieSec::DecodeInPlace(data, parity);
+  EXPECT_EQ(data, original);
+  EXPECT_EQ(stats.corrected_words, 0u);
+  EXPECT_EQ(stats.uncorrectable_words, 0u);
+}
+
+TEST(OnDieSecTest, SingleBitPerWordCorrected) {
+  const std::vector<std::uint8_t> original = RandomRow(256, 2);
+  std::vector<std::uint8_t> data = original;
+  const auto parity = OnDieSec::EncodeParity(original);
+  // One flipped bit in each of three different words.
+  data[0] ^= 0x01;
+  data[9] ^= 0x80;
+  data[250] ^= 0x10;
+  const auto stats = OnDieSec::DecodeInPlace(data, parity);
+  EXPECT_EQ(data, original);
+  EXPECT_EQ(stats.corrected_words, 3u);
+  EXPECT_EQ(stats.uncorrectable_words, 0u);
+}
+
+TEST(OnDieSecTest, DoubleBitWordDetectedNotCorrected) {
+  const std::vector<std::uint8_t> original = RandomRow(64, 3);
+  std::vector<std::uint8_t> data = original;
+  const auto parity = OnDieSec::EncodeParity(original);
+  data[16] ^= 0x03;  // two bits in the same 64-bit word
+  const auto stats = OnDieSec::DecodeInPlace(data, parity);
+  EXPECT_EQ(stats.uncorrectable_words, 1u);
+  EXPECT_EQ(data[16], original[16] ^ 0x03) << "data passes through";
+}
+
+TEST(OnDieSecTest, EveryBitPositionCorrectable) {
+  const std::vector<std::uint8_t> original = RandomRow(8, 4);
+  const auto parity = OnDieSec::EncodeParity(original);
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    std::vector<std::uint8_t> data = original;
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto stats = OnDieSec::DecodeInPlace(data, parity);
+    EXPECT_EQ(data, original) << "bit " << bit;
+    EXPECT_EQ(stats.corrected_words, 1u);
+  }
+}
+
+TEST(OnDieSecTest, ValidatesShapes) {
+  std::vector<std::uint8_t> odd(7, 0);
+  EXPECT_THROW(OnDieSec::EncodeParity(odd), FatalError);
+  std::vector<std::uint8_t> data(16, 0);
+  std::vector<std::uint8_t> bad_parity(3, 0);
+  EXPECT_THROW(OnDieSec::DecodeInPlace(data, bad_parity), FatalError);
+}
+
+}  // namespace
+}  // namespace vrddram::ecc

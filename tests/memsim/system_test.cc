@@ -1,0 +1,232 @@
+#include "memsim/system.h"
+
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace vrddram::memsim {
+namespace {
+
+SystemConfig FastConfig() {
+  SystemConfig config;
+  config.requests_per_core = 4000;
+  return config;
+}
+
+WorkloadMix OneMix() { return MakeHighMemoryIntensityMixes()[0]; }
+
+TEST(SystemTest, BaselineRunCompletesAllRequests) {
+  const SystemConfig config = FastConfig();
+  const SystemResult result = SimulateMix(OneMix(), config);
+  ASSERT_EQ(result.cores.size(), 4u);
+  for (const CoreStats& core : result.cores) {
+    EXPECT_EQ(core.requests, config.requests_per_core);
+    EXPECT_GT(core.finish_time, 0);
+    EXPECT_GT(core.Throughput(), 0.0);
+  }
+  EXPECT_GT(result.makespan, 0);
+  EXPECT_GT(result.activations, 0u);
+  EXPECT_GT(result.row_hits, 0u);
+}
+
+TEST(SystemTest, DeterministicForFixedSeed) {
+  const SystemConfig config = FastConfig();
+  const SystemResult a = SimulateMix(OneMix(), config);
+  const SystemResult b = SimulateMix(OneMix(), config);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.activations, b.activations);
+}
+
+TEST(SystemTest, SelfNormalizationIsOne) {
+  const SystemResult result = SimulateMix(OneMix(), FastConfig());
+  EXPECT_DOUBLE_EQ(NormalizedPerformance(result, result), 1.0);
+}
+
+TEST(SystemTest, MitigationsNeverSpeedUpTheSystem) {
+  // A conflict-heavy mix: tiny hot sets with no row-buffer locality
+  // hammer the same rows, so counter-based mitigations trigger too.
+  WorkloadMix mix;
+  mix.name = "conflict";
+  for (int c = 0; c < 4; ++c) {
+    mix.cores.push_back(CoreProfile{"hot", 40.0, 0.0, 0.1, 2});
+  }
+  SystemConfig config = FastConfig();
+  const SystemResult baseline = SimulateMix(mix, config);
+  for (const MitigationKind kind :
+       {MitigationKind::kGraphene, MitigationKind::kPrac,
+        MitigationKind::kPara, MitigationKind::kMint}) {
+    config.mitigation = kind;
+    config.rdt = 64;
+    const SystemResult mitigated = SimulateMix(mix, config);
+    EXPECT_LE(NormalizedPerformance(mitigated, baseline), 1.001)
+        << ToString(kind);
+    EXPECT_GT(mitigated.preventive_actions, 0u) << ToString(kind);
+  }
+}
+
+TEST(SystemTest, LowerRdtCostsMorePara) {
+  SystemConfig config = FastConfig();
+  const SystemResult baseline = SimulateMix(OneMix(), config);
+  config.mitigation = MitigationKind::kPara;
+  config.rdt = 1024;
+  const double perf_high =
+      NormalizedPerformance(SimulateMix(OneMix(), config), baseline);
+  config.rdt = 64;
+  const double perf_low =
+      NormalizedPerformance(SimulateMix(OneMix(), config), baseline);
+  EXPECT_LT(perf_low, perf_high);
+}
+
+TEST(SystemTest, MintOverheadLargeAtVeryLowRdt) {
+  SystemConfig config = FastConfig();
+  const SystemResult baseline = SimulateMix(OneMix(), config);
+  config.mitigation = MitigationKind::kMint;
+  config.rdt = 64;  // RDT 128 with 50% guardband
+  const double perf =
+      NormalizedPerformance(SimulateMix(OneMix(), config), baseline);
+  EXPECT_LT(perf, 0.85);
+}
+
+TEST(SystemTest, GrapheneCheapAtHighRdt) {
+  SystemConfig config = FastConfig();
+  const SystemResult baseline = SimulateMix(OneMix(), config);
+  config.mitigation = MitigationKind::kGraphene;
+  config.rdt = 1024;
+  const double perf =
+      NormalizedPerformance(SimulateMix(OneMix(), config), baseline);
+  EXPECT_GT(perf, 0.95);
+}
+
+TEST(SystemTest, RefreshCostsThroughput) {
+  SystemConfig with_ref = FastConfig();
+  SystemConfig without_ref = FastConfig();
+  without_ref.refresh_enabled = false;
+  const SystemResult ref = SimulateMix(OneMix(), with_ref);
+  const SystemResult no_ref = SimulateMix(OneMix(), without_ref);
+  EXPECT_GE(ref.makespan, no_ref.makespan);
+}
+
+TEST(SystemTest, HighLocalityMixGetsMoreRowHits) {
+  WorkloadMix local;
+  local.name = "local";
+  WorkloadMix random;
+  random.name = "random";
+  for (int c = 0; c < 4; ++c) {
+    local.cores.push_back(CoreProfile{"l", 30.0, 0.95, 0.2, 8});
+    random.cores.push_back(CoreProfile{"r", 30.0, 0.05, 0.2, 1024});
+  }
+  const SystemConfig config = FastConfig();
+  const SystemResult local_result = SimulateMix(local, config);
+  const SystemResult random_result = SimulateMix(random, config);
+  EXPECT_GT(local_result.row_hits, 2 * random_result.row_hits);
+}
+
+}  // namespace
+}  // namespace vrddram::memsim
+
+namespace vrddram::memsim {
+namespace {
+
+TEST(SchedulerTest, FrFcfsImprovesRowHitRate) {
+  // A mix with moderate locality: reordering lets hits bypass misses,
+  // raising the hit count and throughput.
+  WorkloadMix mix;
+  mix.name = "reorder";
+  for (int c = 0; c < 4; ++c) {
+    mix.cores.push_back(CoreProfile{"m", 40.0, 0.6, 0.2, 32, 4});
+  }
+  SystemConfig in_order;
+  in_order.requests_per_core = 6000;
+  SystemConfig fr_fcfs = in_order;
+  fr_fcfs.scheduler = Scheduler::kFrFcfs;
+
+  const SystemResult base = SimulateMix(mix, in_order);
+  const SystemResult reordered = SimulateMix(mix, fr_fcfs);
+  EXPECT_GE(reordered.row_hits, base.row_hits);
+  // Total work identical.
+  EXPECT_EQ(base.cores.size(), reordered.cores.size());
+  for (const CoreStats& core : reordered.cores) {
+    EXPECT_EQ(core.requests, fr_fcfs.requests_per_core);
+  }
+}
+
+TEST(SchedulerTest, FrFcfsDeterministic) {
+  const auto mix = MakeHighMemoryIntensityMixes()[2];
+  SystemConfig config;
+  config.requests_per_core = 3000;
+  config.scheduler = Scheduler::kFrFcfs;
+  const SystemResult a = SimulateMix(mix, config);
+  const SystemResult b = SimulateMix(mix, config);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.row_hits, b.row_hits);
+}
+
+TEST(SchedulerTest, MitigationOrderingHoldsUnderFrFcfs) {
+  const auto mix = MakeHighMemoryIntensityMixes()[0];
+  SystemConfig config;
+  config.requests_per_core = 4000;
+  config.scheduler = Scheduler::kFrFcfs;
+  const SystemResult baseline = SimulateMix(mix, config);
+  config.rdt = 64;
+  config.mitigation = MitigationKind::kPara;
+  const double para =
+      NormalizedPerformance(SimulateMix(mix, config), baseline);
+  config.mitigation = MitigationKind::kGraphene;
+  const double graphene =
+      NormalizedPerformance(SimulateMix(mix, config), baseline);
+  EXPECT_LT(para, graphene)
+      << "PARA must cost more than Graphene at low RDT";
+}
+
+}  // namespace
+}  // namespace vrddram::memsim
+
+namespace vrddram::memsim {
+namespace {
+
+TEST(LatencyTest, AverageLatencyTracked) {
+  const SystemResult result = SimulateMix(OneMix(), FastConfig());
+  EXPECT_EQ(result.total_requests, 4u * 4000u);
+  EXPECT_GT(result.AvgLatencyNs(), units::ToNs(
+      dram::MakeDdr5_8800().tCL));
+  EXPECT_LT(result.AvgLatencyNs(), 10000.0);
+}
+
+TEST(LatencyTest, MitigationInflatesLatency) {
+  SystemConfig config = FastConfig();
+  const double base = SimulateMix(OneMix(), config).AvgLatencyNs();
+  config.mitigation = MitigationKind::kPara;
+  config.rdt = 64;
+  const double mitigated =
+      SimulateMix(OneMix(), config).AvgLatencyNs();
+  EXPECT_GT(mitigated, base);
+}
+
+}  // namespace
+}  // namespace vrddram::memsim
+
+namespace vrddram::memsim {
+namespace {
+
+TEST(LatencyTest, PercentilesOrdered) {
+  const SystemResult result = SimulateMix(OneMix(), FastConfig());
+  const double p50 = result.LatencyPercentileNs(50.0);
+  const double p99 = result.LatencyPercentileNs(99.0);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+  EXPECT_GE(result.LatencyPercentileNs(100.0), p99);
+  EXPECT_THROW(result.LatencyPercentileNs(-1.0), vrddram::FatalError);
+}
+
+TEST(LatencyTest, MitigationInflatesTail) {
+  SystemConfig config = FastConfig();
+  const SystemResult base = SimulateMix(OneMix(), config);
+  config.mitigation = MitigationKind::kMint;
+  config.rdt = 64;
+  const SystemResult worst = SimulateMix(OneMix(), config);
+  EXPECT_GT(worst.LatencyPercentileNs(99.0),
+            base.LatencyPercentileNs(99.0));
+}
+
+}  // namespace
+}  // namespace vrddram::memsim

@@ -1,0 +1,75 @@
+#include "stats/autocorrelation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vrddram::stats {
+namespace {
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  const std::vector<double> xs = {1.0, 3.0, 2.0, 5.0, 4.0};
+  const std::vector<double> acf = Autocorrelation(xs, 2);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(AutocorrelationTest, ConstantSeriesIsFullyCorrelated) {
+  const std::vector<double> xs(20, 3.0);
+  const std::vector<double> acf = Autocorrelation(xs, 5);
+  for (const double r : acf) {
+    EXPECT_DOUBLE_EQ(r, 1.0);
+  }
+}
+
+TEST(AutocorrelationTest, WhiteNoiseStaysInBand) {
+  Rng rng(11);
+  std::vector<double> xs;
+  const std::size_t n = 20000;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(rng.NextGaussian());
+  }
+  const std::vector<double> acf = Autocorrelation(xs, 40);
+  // ~5% of lags may exceed the 95% band; allow slack.
+  EXPECT_LT(FractionSignificantLags(acf, n), 0.15);
+}
+
+TEST(AutocorrelationTest, PeriodicSignalDetected) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(std::sin(2.0 * M_PI * i / 10.0));
+  }
+  const std::vector<double> acf = Autocorrelation(xs, 20);
+  // Strong positive correlation at the period.
+  EXPECT_GT(acf[10], 0.9);
+  EXPECT_LT(acf[5], -0.9);
+  EXPECT_GT(FractionSignificantLags(acf, xs.size()), 0.8);
+}
+
+TEST(AutocorrelationTest, AlternatingSeries) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  const std::vector<double> acf = Autocorrelation(xs, 2);
+  EXPECT_NEAR(acf[1], -1.0, 0.05);
+  EXPECT_NEAR(acf[2], 1.0, 0.05);
+}
+
+TEST(AutocorrelationTest, WhiteNoiseBound) {
+  EXPECT_NEAR(WhiteNoiseBound95(10000), 0.0196, 1e-4);
+  EXPECT_THROW(WhiteNoiseBound95(0), FatalError);
+}
+
+TEST(AutocorrelationTest, InvalidInputsThrow) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(Autocorrelation(one, 0), FatalError);
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_THROW(Autocorrelation(xs, 3), FatalError);
+}
+
+}  // namespace
+}  // namespace vrddram::stats

@@ -1,0 +1,84 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace vrddram::stats {
+namespace {
+
+std::vector<double> NormalSample(std::size_t n, double mean,
+                                 double stddev, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) {
+    x = rng.NextGaussian(mean, stddev);
+  }
+  return xs;
+}
+
+TEST(BootstrapTest, MeanCiContainsTrueMean) {
+  const auto xs = NormalSample(500, 100.0, 10.0, 31);
+  Rng rng(1);
+  const BootstrapCI ci = Bootstrap(
+      xs, [](std::span<const double> s) { return Mean(s); }, rng);
+  EXPECT_TRUE(ci.Contains(100.0)) << "[" << ci.lo << ", " << ci.hi << "]";
+  EXPECT_NEAR(ci.point, 100.0, 2.0);
+  EXPECT_LT(ci.lo, ci.hi);
+}
+
+TEST(BootstrapTest, MoreDataNarrowsTheInterval) {
+  Rng rng(2);
+  const auto small = NormalSample(50, 0.0, 1.0, 32);
+  const auto large = NormalSample(5000, 0.0, 1.0, 33);
+  const auto mean = [](std::span<const double> s) { return Mean(s); };
+  const double small_width = Bootstrap(small, mean, rng).Width();
+  const double large_width = Bootstrap(large, mean, rng).Width();
+  EXPECT_LT(large_width, small_width / 3.0);
+}
+
+TEST(BootstrapTest, WorksForCv) {
+  const auto xs = NormalSample(1000, 50.0, 5.0, 34);
+  Rng rng(3);
+  const BootstrapCI ci = Bootstrap(
+      xs,
+      [](std::span<const double> s) { return CoefficientOfVariation(s); },
+      rng);
+  EXPECT_TRUE(ci.Contains(0.1)) << "[" << ci.lo << ", " << ci.hi << "]";
+}
+
+TEST(BootstrapTest, DeterministicGivenRngState) {
+  const auto xs = NormalSample(200, 10.0, 2.0, 35);
+  const auto mean = [](std::span<const double> s) { return Mean(s); };
+  Rng a(9);
+  Rng b(9);
+  const BootstrapCI ca = Bootstrap(xs, mean, a, 500);
+  const BootstrapCI cb = Bootstrap(xs, mean, b, 500);
+  EXPECT_DOUBLE_EQ(ca.lo, cb.lo);
+  EXPECT_DOUBLE_EQ(ca.hi, cb.hi);
+}
+
+TEST(BootstrapTest, HigherConfidenceWidensTheInterval) {
+  const auto xs = NormalSample(300, 0.0, 1.0, 36);
+  const auto mean = [](std::span<const double> s) { return Mean(s); };
+  Rng rng(4);
+  const double w90 = Bootstrap(xs, mean, rng, 2000, 0.90).Width();
+  Rng rng2(4);
+  const double w99 = Bootstrap(xs, mean, rng2, 2000, 0.99).Width();
+  EXPECT_GT(w99, w90);
+}
+
+TEST(BootstrapTest, InvalidInputsThrow) {
+  Rng rng(5);
+  const auto mean = [](std::span<const double> s) { return Mean(s); };
+  EXPECT_THROW(Bootstrap({}, mean, rng), FatalError);
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(Bootstrap(xs, mean, rng, 5), FatalError);
+  EXPECT_THROW(Bootstrap(xs, mean, rng, 100, 1.5), FatalError);
+}
+
+}  // namespace
+}  // namespace vrddram::stats

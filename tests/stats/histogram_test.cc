@@ -1,0 +1,87 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace vrddram::stats {
+namespace {
+
+TEST(HistogramTest, CountUnique) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 3.0, 3.0, 3.0};
+  EXPECT_EQ(CountUnique(xs), 3u);
+  const std::vector<std::int64_t> ys = {5, 5, 5};
+  EXPECT_EQ(CountUnique(ys), 1u);
+}
+
+TEST(HistogramTest, BuildPlacesValuesInBins) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const Histogram hist = BuildHistogram(xs, 4);
+  ASSERT_EQ(hist.bins.size(), 4u);
+  EXPECT_EQ(hist.total, 4u);
+  for (const HistogramBin& bin : hist.bins) {
+    EXPECT_EQ(bin.count, 1u);
+  }
+}
+
+TEST(HistogramTest, MaxValueLandsInLastBin) {
+  const std::vector<double> xs = {0.0, 10.0};
+  const Histogram hist = BuildHistogram(xs, 5);
+  EXPECT_EQ(hist.bins.back().count, 1u);
+  EXPECT_EQ(hist.bins.front().count, 1u);
+}
+
+TEST(HistogramTest, ConstantSeries) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0};
+  const Histogram hist = BuildUniqueValueHistogram(xs);
+  ASSERT_EQ(hist.bins.size(), 1u);
+  EXPECT_EQ(hist.bins[0].count, 3u);
+}
+
+TEST(HistogramTest, UniqueValueHistogramBinCount) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 4.0};
+  const Histogram hist = BuildUniqueValueHistogram(xs);
+  EXPECT_EQ(hist.bins.size(), 3u);  // Fig. 4: bins = unique values
+}
+
+TEST(HistogramTest, FractionAndMode) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0, 2.0};
+  const Histogram hist = BuildUniqueValueHistogram(xs);
+  EXPECT_EQ(hist.ModeBin(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Fraction(0), 0.75);
+}
+
+TEST(HistogramTest, EmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(BuildHistogram(xs, 4), FatalError);
+}
+
+TEST(HistogramTest, UnimodalCountsOneMode) {
+  // Bell-shaped counts.
+  std::vector<double> xs;
+  const int counts[] = {1, 3, 8, 15, 22, 15, 8, 3, 1};
+  for (int b = 0; b < 9; ++b) {
+    for (int i = 0; i < counts[b]; ++i) {
+      xs.push_back(static_cast<double>(b));
+    }
+  }
+  const Histogram hist = BuildUniqueValueHistogram(xs);
+  EXPECT_EQ(CountModes(hist), 1u);
+}
+
+TEST(HistogramTest, BimodalCountsTwoModes) {
+  std::vector<double> xs;
+  const int counts[] = {2, 18, 30, 18, 2, 0, 0, 2, 14, 24, 14, 2};
+  for (int b = 0; b < 12; ++b) {
+    for (int i = 0; i < counts[b]; ++i) {
+      xs.push_back(static_cast<double>(b));
+    }
+  }
+  const Histogram hist = BuildHistogram(xs, 12);
+  EXPECT_EQ(CountModes(hist), 2u);
+}
+
+}  // namespace
+}  // namespace vrddram::stats
