@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_appendix_test_time"
+  "../bench/bench_appendix_test_time.pdb"
+  "CMakeFiles/bench_appendix_test_time.dir/appendix_test_time.cc.o"
+  "CMakeFiles/bench_appendix_test_time.dir/appendix_test_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_test_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_rdt_series"
+  "../bench/bench_fig01_rdt_series.pdb"
+  "CMakeFiles/bench_fig01_rdt_series.dir/fig01_rdt_series.cc.o"
+  "CMakeFiles/bench_fig01_rdt_series.dir/fig01_rdt_series.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_rdt_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_rdt_distribution"
+  "../bench/bench_fig03_rdt_distribution.pdb"
+  "CMakeFiles/bench_fig03_rdt_distribution.dir/fig03_rdt_distribution.cc.o"
+  "CMakeFiles/bench_fig03_rdt_distribution.dir/fig03_rdt_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_rdt_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_rdt_histograms"
+  "../bench/bench_fig04_rdt_histograms.pdb"
+  "CMakeFiles/bench_fig04_rdt_histograms.dir/fig04_rdt_histograms.cc.o"
+  "CMakeFiles/bench_fig04_rdt_histograms.dir/fig04_rdt_histograms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_rdt_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_run_lengths"
+  "../bench/bench_fig05_run_lengths.pdb"
+  "CMakeFiles/bench_fig05_run_lengths.dir/fig05_run_lengths.cc.o"
+  "CMakeFiles/bench_fig05_run_lengths.dir/fig05_run_lengths.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_run_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

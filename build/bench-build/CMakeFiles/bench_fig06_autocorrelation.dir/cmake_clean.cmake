@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_autocorrelation"
+  "../bench/bench_fig06_autocorrelation.pdb"
+  "CMakeFiles/bench_fig06_autocorrelation.dir/fig06_autocorrelation.cc.o"
+  "CMakeFiles/bench_fig06_autocorrelation.dir/fig06_autocorrelation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_autocorrelation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

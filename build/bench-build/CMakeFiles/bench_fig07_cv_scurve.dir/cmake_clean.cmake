@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_cv_scurve"
+  "../bench/bench_fig07_cv_scurve.pdb"
+  "CMakeFiles/bench_fig07_cv_scurve.dir/fig07_cv_scurve.cc.o"
+  "CMakeFiles/bench_fig07_cv_scurve.dir/fig07_cv_scurve.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_cv_scurve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

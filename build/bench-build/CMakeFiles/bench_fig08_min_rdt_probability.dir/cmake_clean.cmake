@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_min_rdt_probability"
+  "../bench/bench_fig08_min_rdt_probability.pdb"
+  "CMakeFiles/bench_fig08_min_rdt_probability.dir/fig08_min_rdt_probability.cc.o"
+  "CMakeFiles/bench_fig08_min_rdt_probability.dir/fig08_min_rdt_probability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_min_rdt_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

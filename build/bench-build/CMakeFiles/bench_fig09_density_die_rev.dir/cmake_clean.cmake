@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_density_die_rev"
+  "../bench/bench_fig09_density_die_rev.pdb"
+  "CMakeFiles/bench_fig09_density_die_rev.dir/fig09_density_die_rev.cc.o"
+  "CMakeFiles/bench_fig09_density_die_rev.dir/fig09_density_die_rev.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_density_die_rev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig09_density_die_rev.
+# This may be replaced when dependencies are built.

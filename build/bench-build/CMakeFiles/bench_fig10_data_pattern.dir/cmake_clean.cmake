@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_data_pattern"
+  "../bench/bench_fig10_data_pattern.pdb"
+  "CMakeFiles/bench_fig10_data_pattern.dir/fig10_data_pattern.cc.o"
+  "CMakeFiles/bench_fig10_data_pattern.dir/fig10_data_pattern.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_data_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_taggon"
+  "../bench/bench_fig11_taggon.pdb"
+  "CMakeFiles/bench_fig11_taggon.dir/fig11_taggon.cc.o"
+  "CMakeFiles/bench_fig11_taggon.dir/fig11_taggon.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_taggon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_true_anti_cell"
+  "../bench/bench_fig13_true_anti_cell.pdb"
+  "CMakeFiles/bench_fig13_true_anti_cell.dir/fig13_true_anti_cell.cc.o"
+  "CMakeFiles/bench_fig13_true_anti_cell.dir/fig13_true_anti_cell.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_true_anti_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

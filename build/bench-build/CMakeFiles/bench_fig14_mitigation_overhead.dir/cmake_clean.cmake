@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_mitigation_overhead"
+  "../bench/bench_fig14_mitigation_overhead.pdb"
+  "CMakeFiles/bench_fig14_mitigation_overhead.dir/fig14_mitigation_overhead.cc.o"
+  "CMakeFiles/bench_fig14_mitigation_overhead.dir/fig14_mitigation_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_mitigation_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

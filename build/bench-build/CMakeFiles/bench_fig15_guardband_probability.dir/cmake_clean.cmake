@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_guardband_probability"
+  "../bench/bench_fig15_guardband_probability.pdb"
+  "CMakeFiles/bench_fig15_guardband_probability.dir/fig15_guardband_probability.cc.o"
+  "CMakeFiles/bench_fig15_guardband_probability.dir/fig15_guardband_probability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_guardband_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_guardband_bitflips"
+  "../bench/bench_fig16_guardband_bitflips.pdb"
+  "CMakeFiles/bench_fig16_guardband_bitflips.dir/fig16_guardband_bitflips.cc.o"
+  "CMakeFiles/bench_fig16_guardband_bitflips.dir/fig16_guardband_bitflips.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_guardband_bitflips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/future_ddr5.cc" "bench-build/CMakeFiles/bench_future_ddr5.dir/future_ddr5.cc.o" "gcc" "bench-build/CMakeFiles/bench_future_ddr5.dir/future_ddr5.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/vrd_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vrd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/vrd_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/vrd_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/vrd/CMakeFiles/vrd_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/vrd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/vrd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vrd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

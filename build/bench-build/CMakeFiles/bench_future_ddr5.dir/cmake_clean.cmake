@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_future_ddr5"
+  "../bench/bench_future_ddr5.pdb"
+  "CMakeFiles/bench_future_ddr5.dir/future_ddr5.cc.o"
+  "CMakeFiles/bench_future_ddr5.dir/future_ddr5.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_ddr5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

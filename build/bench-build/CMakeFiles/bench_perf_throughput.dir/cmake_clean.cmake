@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_throughput"
+  "../bench/bench_perf_throughput.pdb"
+  "CMakeFiles/bench_perf_throughput.dir/perf_throughput.cc.o"
+  "CMakeFiles/bench_perf_throughput.dir/perf_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

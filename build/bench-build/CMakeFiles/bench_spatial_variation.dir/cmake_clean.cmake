@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spatial_variation"
+  "../bench/bench_spatial_variation.pdb"
+  "CMakeFiles/bench_spatial_variation.dir/spatial_variation.cc.o"
+  "CMakeFiles/bench_spatial_variation.dir/spatial_variation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

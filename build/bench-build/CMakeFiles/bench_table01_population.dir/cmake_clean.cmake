@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table01_population"
+  "../bench/bench_table01_population.pdb"
+  "CMakeFiles/bench_table01_population.dir/table01_population.cc.o"
+  "CMakeFiles/bench_table01_population.dir/table01_population.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table03_ecc"
+  "../bench/bench_table03_ecc.pdb"
+  "CMakeFiles/bench_table03_ecc.dir/table03_ecc.cc.o"
+  "CMakeFiles/bench_table03_ecc.dir/table03_ecc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table07_module_summary"
+  "../bench/bench_table07_module_summary.pdb"
+  "CMakeFiles/bench_table07_module_summary.dir/table07_module_summary.cc.o"
+  "CMakeFiles/bench_table07_module_summary.dir/table07_module_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_module_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

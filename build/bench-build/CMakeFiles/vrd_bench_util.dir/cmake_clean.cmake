@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrd_bench_util.dir/common/bench_util.cc.o"
+  "CMakeFiles/vrd_bench_util.dir/common/bench_util.cc.o.d"
+  "libvrd_bench_util.a"
+  "libvrd_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrd_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvrd_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterization_campaign.dir/characterization_campaign.cpp.o"
+  "CMakeFiles/characterization_campaign.dir/characterization_campaign.cpp.o.d"
+  "characterization_campaign"
+  "characterization_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterization_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

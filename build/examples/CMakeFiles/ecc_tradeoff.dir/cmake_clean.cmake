@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_tradeoff.dir/ecc_tradeoff.cpp.o"
+  "CMakeFiles/ecc_tradeoff.dir/ecc_tradeoff.cpp.o.d"
+  "ecc_tradeoff"
+  "ecc_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

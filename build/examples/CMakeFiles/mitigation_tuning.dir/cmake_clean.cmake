@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_tuning.dir/mitigation_tuning.cpp.o"
+  "CMakeFiles/mitigation_tuning.dir/mitigation_tuning.cpp.o.d"
+  "mitigation_tuning"
+  "mitigation_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

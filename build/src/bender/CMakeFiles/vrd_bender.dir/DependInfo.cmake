@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bender/attack_patterns.cc" "src/bender/CMakeFiles/vrd_bender.dir/attack_patterns.cc.o" "gcc" "src/bender/CMakeFiles/vrd_bender.dir/attack_patterns.cc.o.d"
+  "/root/repo/src/bender/host.cc" "src/bender/CMakeFiles/vrd_bender.dir/host.cc.o" "gcc" "src/bender/CMakeFiles/vrd_bender.dir/host.cc.o.d"
+  "/root/repo/src/bender/test_program.cc" "src/bender/CMakeFiles/vrd_bender.dir/test_program.cc.o" "gcc" "src/bender/CMakeFiles/vrd_bender.dir/test_program.cc.o.d"
+  "/root/repo/src/bender/thermal.cc" "src/bender/CMakeFiles/vrd_bender.dir/thermal.cc.o" "gcc" "src/bender/CMakeFiles/vrd_bender.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/vrd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vrd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/vrd_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

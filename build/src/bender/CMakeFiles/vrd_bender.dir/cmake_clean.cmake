@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrd_bender.dir/attack_patterns.cc.o"
+  "CMakeFiles/vrd_bender.dir/attack_patterns.cc.o.d"
+  "CMakeFiles/vrd_bender.dir/host.cc.o"
+  "CMakeFiles/vrd_bender.dir/host.cc.o.d"
+  "CMakeFiles/vrd_bender.dir/test_program.cc.o"
+  "CMakeFiles/vrd_bender.dir/test_program.cc.o.d"
+  "CMakeFiles/vrd_bender.dir/thermal.cc.o"
+  "CMakeFiles/vrd_bender.dir/thermal.cc.o.d"
+  "libvrd_bender.a"
+  "libvrd_bender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrd_bender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

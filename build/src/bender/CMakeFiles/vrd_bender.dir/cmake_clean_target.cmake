@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvrd_bender.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrd_common.dir/rng.cc.o"
+  "CMakeFiles/vrd_common.dir/rng.cc.o.d"
+  "CMakeFiles/vrd_common.dir/table.cc.o"
+  "CMakeFiles/vrd_common.dir/table.cc.o.d"
+  "libvrd_common.a"
+  "libvrd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

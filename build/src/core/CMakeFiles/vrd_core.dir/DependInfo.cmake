@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/vrd_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/vrd_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/csv_export.cc" "src/core/CMakeFiles/vrd_core.dir/csv_export.cc.o" "gcc" "src/core/CMakeFiles/vrd_core.dir/csv_export.cc.o.d"
+  "/root/repo/src/core/guardband.cc" "src/core/CMakeFiles/vrd_core.dir/guardband.cc.o" "gcc" "src/core/CMakeFiles/vrd_core.dir/guardband.cc.o.d"
+  "/root/repo/src/core/min_rdt_mc.cc" "src/core/CMakeFiles/vrd_core.dir/min_rdt_mc.cc.o" "gcc" "src/core/CMakeFiles/vrd_core.dir/min_rdt_mc.cc.o.d"
+  "/root/repo/src/core/online_profiler.cc" "src/core/CMakeFiles/vrd_core.dir/online_profiler.cc.o" "gcc" "src/core/CMakeFiles/vrd_core.dir/online_profiler.cc.o.d"
+  "/root/repo/src/core/rdt_profiler.cc" "src/core/CMakeFiles/vrd_core.dir/rdt_profiler.cc.o" "gcc" "src/core/CMakeFiles/vrd_core.dir/rdt_profiler.cc.o.d"
+  "/root/repo/src/core/security_eval.cc" "src/core/CMakeFiles/vrd_core.dir/security_eval.cc.o" "gcc" "src/core/CMakeFiles/vrd_core.dir/security_eval.cc.o.d"
+  "/root/repo/src/core/series_analysis.cc" "src/core/CMakeFiles/vrd_core.dir/series_analysis.cc.o" "gcc" "src/core/CMakeFiles/vrd_core.dir/series_analysis.cc.o.d"
+  "/root/repo/src/core/test_time_model.cc" "src/core/CMakeFiles/vrd_core.dir/test_time_model.cc.o" "gcc" "src/core/CMakeFiles/vrd_core.dir/test_time_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bender/CMakeFiles/vrd_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/vrd/CMakeFiles/vrd_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/vrd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vrd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/vrd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrd_core.dir/campaign.cc.o"
+  "CMakeFiles/vrd_core.dir/campaign.cc.o.d"
+  "CMakeFiles/vrd_core.dir/csv_export.cc.o"
+  "CMakeFiles/vrd_core.dir/csv_export.cc.o.d"
+  "CMakeFiles/vrd_core.dir/guardband.cc.o"
+  "CMakeFiles/vrd_core.dir/guardband.cc.o.d"
+  "CMakeFiles/vrd_core.dir/min_rdt_mc.cc.o"
+  "CMakeFiles/vrd_core.dir/min_rdt_mc.cc.o.d"
+  "CMakeFiles/vrd_core.dir/online_profiler.cc.o"
+  "CMakeFiles/vrd_core.dir/online_profiler.cc.o.d"
+  "CMakeFiles/vrd_core.dir/rdt_profiler.cc.o"
+  "CMakeFiles/vrd_core.dir/rdt_profiler.cc.o.d"
+  "CMakeFiles/vrd_core.dir/security_eval.cc.o"
+  "CMakeFiles/vrd_core.dir/security_eval.cc.o.d"
+  "CMakeFiles/vrd_core.dir/series_analysis.cc.o"
+  "CMakeFiles/vrd_core.dir/series_analysis.cc.o.d"
+  "CMakeFiles/vrd_core.dir/test_time_model.cc.o"
+  "CMakeFiles/vrd_core.dir/test_time_model.cc.o.d"
+  "libvrd_core.a"
+  "libvrd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

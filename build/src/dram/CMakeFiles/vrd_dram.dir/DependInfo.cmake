@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cc" "src/dram/CMakeFiles/vrd_dram.dir/bank.cc.o" "gcc" "src/dram/CMakeFiles/vrd_dram.dir/bank.cc.o.d"
+  "/root/repo/src/dram/device.cc" "src/dram/CMakeFiles/vrd_dram.dir/device.cc.o" "gcc" "src/dram/CMakeFiles/vrd_dram.dir/device.cc.o.d"
+  "/root/repo/src/dram/organization.cc" "src/dram/CMakeFiles/vrd_dram.dir/organization.cc.o" "gcc" "src/dram/CMakeFiles/vrd_dram.dir/organization.cc.o.d"
+  "/root/repo/src/dram/retention.cc" "src/dram/CMakeFiles/vrd_dram.dir/retention.cc.o" "gcc" "src/dram/CMakeFiles/vrd_dram.dir/retention.cc.o.d"
+  "/root/repo/src/dram/row_mapping.cc" "src/dram/CMakeFiles/vrd_dram.dir/row_mapping.cc.o" "gcc" "src/dram/CMakeFiles/vrd_dram.dir/row_mapping.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/dram/CMakeFiles/vrd_dram.dir/timing.cc.o" "gcc" "src/dram/CMakeFiles/vrd_dram.dir/timing.cc.o.d"
+  "/root/repo/src/dram/types.cc" "src/dram/CMakeFiles/vrd_dram.dir/types.cc.o" "gcc" "src/dram/CMakeFiles/vrd_dram.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecc/CMakeFiles/vrd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

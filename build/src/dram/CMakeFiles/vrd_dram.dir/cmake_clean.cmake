@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrd_dram.dir/bank.cc.o"
+  "CMakeFiles/vrd_dram.dir/bank.cc.o.d"
+  "CMakeFiles/vrd_dram.dir/device.cc.o"
+  "CMakeFiles/vrd_dram.dir/device.cc.o.d"
+  "CMakeFiles/vrd_dram.dir/organization.cc.o"
+  "CMakeFiles/vrd_dram.dir/organization.cc.o.d"
+  "CMakeFiles/vrd_dram.dir/retention.cc.o"
+  "CMakeFiles/vrd_dram.dir/retention.cc.o.d"
+  "CMakeFiles/vrd_dram.dir/row_mapping.cc.o"
+  "CMakeFiles/vrd_dram.dir/row_mapping.cc.o.d"
+  "CMakeFiles/vrd_dram.dir/timing.cc.o"
+  "CMakeFiles/vrd_dram.dir/timing.cc.o.d"
+  "CMakeFiles/vrd_dram.dir/types.cc.o"
+  "CMakeFiles/vrd_dram.dir/types.cc.o.d"
+  "libvrd_dram.a"
+  "libvrd_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrd_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/analysis.cc" "src/ecc/CMakeFiles/vrd_ecc.dir/analysis.cc.o" "gcc" "src/ecc/CMakeFiles/vrd_ecc.dir/analysis.cc.o.d"
+  "/root/repo/src/ecc/chipkill.cc" "src/ecc/CMakeFiles/vrd_ecc.dir/chipkill.cc.o" "gcc" "src/ecc/CMakeFiles/vrd_ecc.dir/chipkill.cc.o.d"
+  "/root/repo/src/ecc/gf256.cc" "src/ecc/CMakeFiles/vrd_ecc.dir/gf256.cc.o" "gcc" "src/ecc/CMakeFiles/vrd_ecc.dir/gf256.cc.o.d"
+  "/root/repo/src/ecc/hamming.cc" "src/ecc/CMakeFiles/vrd_ecc.dir/hamming.cc.o" "gcc" "src/ecc/CMakeFiles/vrd_ecc.dir/hamming.cc.o.d"
+  "/root/repo/src/ecc/on_die.cc" "src/ecc/CMakeFiles/vrd_ecc.dir/on_die.cc.o" "gcc" "src/ecc/CMakeFiles/vrd_ecc.dir/on_die.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrd_ecc.dir/analysis.cc.o"
+  "CMakeFiles/vrd_ecc.dir/analysis.cc.o.d"
+  "CMakeFiles/vrd_ecc.dir/chipkill.cc.o"
+  "CMakeFiles/vrd_ecc.dir/chipkill.cc.o.d"
+  "CMakeFiles/vrd_ecc.dir/gf256.cc.o"
+  "CMakeFiles/vrd_ecc.dir/gf256.cc.o.d"
+  "CMakeFiles/vrd_ecc.dir/hamming.cc.o"
+  "CMakeFiles/vrd_ecc.dir/hamming.cc.o.d"
+  "CMakeFiles/vrd_ecc.dir/on_die.cc.o"
+  "CMakeFiles/vrd_ecc.dir/on_die.cc.o.d"
+  "libvrd_ecc.a"
+  "libvrd_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrd_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

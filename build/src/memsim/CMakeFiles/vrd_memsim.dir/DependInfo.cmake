@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/mitigation.cc" "src/memsim/CMakeFiles/vrd_memsim.dir/mitigation.cc.o" "gcc" "src/memsim/CMakeFiles/vrd_memsim.dir/mitigation.cc.o.d"
+  "/root/repo/src/memsim/system.cc" "src/memsim/CMakeFiles/vrd_memsim.dir/system.cc.o" "gcc" "src/memsim/CMakeFiles/vrd_memsim.dir/system.cc.o.d"
+  "/root/repo/src/memsim/workload.cc" "src/memsim/CMakeFiles/vrd_memsim.dir/workload.cc.o" "gcc" "src/memsim/CMakeFiles/vrd_memsim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/vrd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vrd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/vrd_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrd_memsim.dir/mitigation.cc.o"
+  "CMakeFiles/vrd_memsim.dir/mitigation.cc.o.d"
+  "CMakeFiles/vrd_memsim.dir/system.cc.o"
+  "CMakeFiles/vrd_memsim.dir/system.cc.o.d"
+  "CMakeFiles/vrd_memsim.dir/workload.cc.o"
+  "CMakeFiles/vrd_memsim.dir/workload.cc.o.d"
+  "libvrd_memsim.a"
+  "libvrd_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrd_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorrelation.cc" "src/stats/CMakeFiles/vrd_stats.dir/autocorrelation.cc.o" "gcc" "src/stats/CMakeFiles/vrd_stats.dir/autocorrelation.cc.o.d"
+  "/root/repo/src/stats/bootstrap.cc" "src/stats/CMakeFiles/vrd_stats.dir/bootstrap.cc.o" "gcc" "src/stats/CMakeFiles/vrd_stats.dir/bootstrap.cc.o.d"
+  "/root/repo/src/stats/chi_square.cc" "src/stats/CMakeFiles/vrd_stats.dir/chi_square.cc.o" "gcc" "src/stats/CMakeFiles/vrd_stats.dir/chi_square.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/vrd_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/vrd_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/vrd_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/vrd_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/monte_carlo.cc" "src/stats/CMakeFiles/vrd_stats.dir/monte_carlo.cc.o" "gcc" "src/stats/CMakeFiles/vrd_stats.dir/monte_carlo.cc.o.d"
+  "/root/repo/src/stats/run_length.cc" "src/stats/CMakeFiles/vrd_stats.dir/run_length.cc.o" "gcc" "src/stats/CMakeFiles/vrd_stats.dir/run_length.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

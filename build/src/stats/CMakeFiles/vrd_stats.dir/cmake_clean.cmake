@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrd_stats.dir/autocorrelation.cc.o"
+  "CMakeFiles/vrd_stats.dir/autocorrelation.cc.o.d"
+  "CMakeFiles/vrd_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/vrd_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/vrd_stats.dir/chi_square.cc.o"
+  "CMakeFiles/vrd_stats.dir/chi_square.cc.o.d"
+  "CMakeFiles/vrd_stats.dir/descriptive.cc.o"
+  "CMakeFiles/vrd_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/vrd_stats.dir/histogram.cc.o"
+  "CMakeFiles/vrd_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/vrd_stats.dir/monte_carlo.cc.o"
+  "CMakeFiles/vrd_stats.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/vrd_stats.dir/run_length.cc.o"
+  "CMakeFiles/vrd_stats.dir/run_length.cc.o.d"
+  "libvrd_stats.a"
+  "libvrd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

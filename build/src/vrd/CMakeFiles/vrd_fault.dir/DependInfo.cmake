@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vrd/chip_catalog.cc" "src/vrd/CMakeFiles/vrd_fault.dir/chip_catalog.cc.o" "gcc" "src/vrd/CMakeFiles/vrd_fault.dir/chip_catalog.cc.o.d"
+  "/root/repo/src/vrd/fault_profile.cc" "src/vrd/CMakeFiles/vrd_fault.dir/fault_profile.cc.o" "gcc" "src/vrd/CMakeFiles/vrd_fault.dir/fault_profile.cc.o.d"
+  "/root/repo/src/vrd/trap_engine.cc" "src/vrd/CMakeFiles/vrd_fault.dir/trap_engine.cc.o" "gcc" "src/vrd/CMakeFiles/vrd_fault.dir/trap_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/vrd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vrd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/vrd_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

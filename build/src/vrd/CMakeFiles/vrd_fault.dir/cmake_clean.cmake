@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrd_fault.dir/chip_catalog.cc.o"
+  "CMakeFiles/vrd_fault.dir/chip_catalog.cc.o.d"
+  "CMakeFiles/vrd_fault.dir/fault_profile.cc.o"
+  "CMakeFiles/vrd_fault.dir/fault_profile.cc.o.d"
+  "CMakeFiles/vrd_fault.dir/trap_engine.cc.o"
+  "CMakeFiles/vrd_fault.dir/trap_engine.cc.o.d"
+  "libvrd_fault.a"
+  "libvrd_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrd_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

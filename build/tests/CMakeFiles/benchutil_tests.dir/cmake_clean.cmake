@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchutil_tests.dir/benchutil/bench_util_test.cc.o"
+  "CMakeFiles/benchutil_tests.dir/benchutil/bench_util_test.cc.o.d"
+  "benchutil_tests"
+  "benchutil_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchutil_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

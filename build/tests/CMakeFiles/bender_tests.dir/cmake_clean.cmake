@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bender_tests.dir/bender/attack_patterns_test.cc.o"
+  "CMakeFiles/bender_tests.dir/bender/attack_patterns_test.cc.o.d"
+  "CMakeFiles/bender_tests.dir/bender/host_test.cc.o"
+  "CMakeFiles/bender_tests.dir/bender/host_test.cc.o.d"
+  "CMakeFiles/bender_tests.dir/bender/test_program_test.cc.o"
+  "CMakeFiles/bender_tests.dir/bender/test_program_test.cc.o.d"
+  "CMakeFiles/bender_tests.dir/bender/thermal_test.cc.o"
+  "CMakeFiles/bender_tests.dir/bender/thermal_test.cc.o.d"
+  "bender_tests"
+  "bender_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bender_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

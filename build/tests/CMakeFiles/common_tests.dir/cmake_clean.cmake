@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common/rng_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/table_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/table_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/units_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/units_test.cc.o.d"
+  "common_tests"
+  "common_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

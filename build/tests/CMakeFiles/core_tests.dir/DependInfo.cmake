@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/campaign_test.cc" "tests/CMakeFiles/core_tests.dir/core/campaign_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/campaign_test.cc.o.d"
+  "/root/repo/tests/core/csv_export_test.cc" "tests/CMakeFiles/core_tests.dir/core/csv_export_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/csv_export_test.cc.o.d"
+  "/root/repo/tests/core/guardband_test.cc" "tests/CMakeFiles/core_tests.dir/core/guardband_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/guardband_test.cc.o.d"
+  "/root/repo/tests/core/min_rdt_mc_test.cc" "tests/CMakeFiles/core_tests.dir/core/min_rdt_mc_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/min_rdt_mc_test.cc.o.d"
+  "/root/repo/tests/core/online_profiler_test.cc" "tests/CMakeFiles/core_tests.dir/core/online_profiler_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/online_profiler_test.cc.o.d"
+  "/root/repo/tests/core/rdt_profiler_test.cc" "tests/CMakeFiles/core_tests.dir/core/rdt_profiler_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rdt_profiler_test.cc.o.d"
+  "/root/repo/tests/core/security_eval_test.cc" "tests/CMakeFiles/core_tests.dir/core/security_eval_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/security_eval_test.cc.o.d"
+  "/root/repo/tests/core/series_analysis_test.cc" "tests/CMakeFiles/core_tests.dir/core/series_analysis_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/series_analysis_test.cc.o.d"
+  "/root/repo/tests/core/test_time_model_test.cc" "tests/CMakeFiles/core_tests.dir/core/test_time_model_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_time_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vrd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/vrd_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/vrd_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/vrd/CMakeFiles/vrd_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/vrd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/vrd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vrd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/campaign_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/campaign_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/csv_export_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/csv_export_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/guardband_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/guardband_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/min_rdt_mc_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/min_rdt_mc_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/online_profiler_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/online_profiler_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/rdt_profiler_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/rdt_profiler_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/security_eval_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/security_eval_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/series_analysis_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/series_analysis_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/test_time_model_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/test_time_model_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dram/bank_test.cc" "tests/CMakeFiles/dram_tests.dir/dram/bank_test.cc.o" "gcc" "tests/CMakeFiles/dram_tests.dir/dram/bank_test.cc.o.d"
+  "/root/repo/tests/dram/device_test.cc" "tests/CMakeFiles/dram_tests.dir/dram/device_test.cc.o" "gcc" "tests/CMakeFiles/dram_tests.dir/dram/device_test.cc.o.d"
+  "/root/repo/tests/dram/device_timing_test.cc" "tests/CMakeFiles/dram_tests.dir/dram/device_timing_test.cc.o" "gcc" "tests/CMakeFiles/dram_tests.dir/dram/device_timing_test.cc.o.d"
+  "/root/repo/tests/dram/organization_test.cc" "tests/CMakeFiles/dram_tests.dir/dram/organization_test.cc.o" "gcc" "tests/CMakeFiles/dram_tests.dir/dram/organization_test.cc.o.d"
+  "/root/repo/tests/dram/prac_test.cc" "tests/CMakeFiles/dram_tests.dir/dram/prac_test.cc.o" "gcc" "tests/CMakeFiles/dram_tests.dir/dram/prac_test.cc.o.d"
+  "/root/repo/tests/dram/refresh_test.cc" "tests/CMakeFiles/dram_tests.dir/dram/refresh_test.cc.o" "gcc" "tests/CMakeFiles/dram_tests.dir/dram/refresh_test.cc.o.d"
+  "/root/repo/tests/dram/retention_test.cc" "tests/CMakeFiles/dram_tests.dir/dram/retention_test.cc.o" "gcc" "tests/CMakeFiles/dram_tests.dir/dram/retention_test.cc.o.d"
+  "/root/repo/tests/dram/row_mapping_test.cc" "tests/CMakeFiles/dram_tests.dir/dram/row_mapping_test.cc.o" "gcc" "tests/CMakeFiles/dram_tests.dir/dram/row_mapping_test.cc.o.d"
+  "/root/repo/tests/dram/timing_test.cc" "tests/CMakeFiles/dram_tests.dir/dram/timing_test.cc.o" "gcc" "tests/CMakeFiles/dram_tests.dir/dram/timing_test.cc.o.d"
+  "/root/repo/tests/dram/types_test.cc" "tests/CMakeFiles/dram_tests.dir/dram/types_test.cc.o" "gcc" "tests/CMakeFiles/dram_tests.dir/dram/types_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vrd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/vrd_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/vrd_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/vrd/CMakeFiles/vrd_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/vrd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/vrd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vrd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_tests.dir/dram/bank_test.cc.o"
+  "CMakeFiles/dram_tests.dir/dram/bank_test.cc.o.d"
+  "CMakeFiles/dram_tests.dir/dram/device_test.cc.o"
+  "CMakeFiles/dram_tests.dir/dram/device_test.cc.o.d"
+  "CMakeFiles/dram_tests.dir/dram/device_timing_test.cc.o"
+  "CMakeFiles/dram_tests.dir/dram/device_timing_test.cc.o.d"
+  "CMakeFiles/dram_tests.dir/dram/organization_test.cc.o"
+  "CMakeFiles/dram_tests.dir/dram/organization_test.cc.o.d"
+  "CMakeFiles/dram_tests.dir/dram/prac_test.cc.o"
+  "CMakeFiles/dram_tests.dir/dram/prac_test.cc.o.d"
+  "CMakeFiles/dram_tests.dir/dram/refresh_test.cc.o"
+  "CMakeFiles/dram_tests.dir/dram/refresh_test.cc.o.d"
+  "CMakeFiles/dram_tests.dir/dram/retention_test.cc.o"
+  "CMakeFiles/dram_tests.dir/dram/retention_test.cc.o.d"
+  "CMakeFiles/dram_tests.dir/dram/row_mapping_test.cc.o"
+  "CMakeFiles/dram_tests.dir/dram/row_mapping_test.cc.o.d"
+  "CMakeFiles/dram_tests.dir/dram/timing_test.cc.o"
+  "CMakeFiles/dram_tests.dir/dram/timing_test.cc.o.d"
+  "CMakeFiles/dram_tests.dir/dram/types_test.cc.o"
+  "CMakeFiles/dram_tests.dir/dram/types_test.cc.o.d"
+  "dram_tests"
+  "dram_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_tests.dir/ecc/analysis_test.cc.o"
+  "CMakeFiles/ecc_tests.dir/ecc/analysis_test.cc.o.d"
+  "CMakeFiles/ecc_tests.dir/ecc/chipkill_test.cc.o"
+  "CMakeFiles/ecc_tests.dir/ecc/chipkill_test.cc.o.d"
+  "CMakeFiles/ecc_tests.dir/ecc/gf256_test.cc.o"
+  "CMakeFiles/ecc_tests.dir/ecc/gf256_test.cc.o.d"
+  "CMakeFiles/ecc_tests.dir/ecc/hamming_test.cc.o"
+  "CMakeFiles/ecc_tests.dir/ecc/hamming_test.cc.o.d"
+  "CMakeFiles/ecc_tests.dir/ecc/on_die_test.cc.o"
+  "CMakeFiles/ecc_tests.dir/ecc/on_die_test.cc.o.d"
+  "ecc_tests"
+  "ecc_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

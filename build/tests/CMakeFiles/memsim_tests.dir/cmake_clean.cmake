@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_tests.dir/memsim/mitigation_test.cc.o"
+  "CMakeFiles/memsim_tests.dir/memsim/mitigation_test.cc.o.d"
+  "CMakeFiles/memsim_tests.dir/memsim/system_test.cc.o"
+  "CMakeFiles/memsim_tests.dir/memsim/system_test.cc.o.d"
+  "CMakeFiles/memsim_tests.dir/memsim/workload_test.cc.o"
+  "CMakeFiles/memsim_tests.dir/memsim/workload_test.cc.o.d"
+  "memsim_tests"
+  "memsim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/autocorrelation_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/autocorrelation_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/bootstrap_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/bootstrap_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/chi_square_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/chi_square_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/descriptive_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/descriptive_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/histogram_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/histogram_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/monte_carlo_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/monte_carlo_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/run_length_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/run_length_test.cc.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrd_tests.dir/vrd/catalog_property_test.cc.o"
+  "CMakeFiles/vrd_tests.dir/vrd/catalog_property_test.cc.o.d"
+  "CMakeFiles/vrd_tests.dir/vrd/chip_catalog_test.cc.o"
+  "CMakeFiles/vrd_tests.dir/vrd/chip_catalog_test.cc.o.d"
+  "CMakeFiles/vrd_tests.dir/vrd/trap_dynamics_test.cc.o"
+  "CMakeFiles/vrd_tests.dir/vrd/trap_dynamics_test.cc.o.d"
+  "CMakeFiles/vrd_tests.dir/vrd/trap_engine_test.cc.o"
+  "CMakeFiles/vrd_tests.dir/vrd/trap_engine_test.cc.o.d"
+  "vrd_tests"
+  "vrd_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
