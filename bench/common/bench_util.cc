@@ -79,6 +79,10 @@ std::vector<std::string> ResolveDevices(const std::string& spec) {
   return names;
 }
 
+std::size_t ResolveThreads(const Flags& flags) {
+  return static_cast<std::size_t>(flags.GetUint("threads", 0));
+}
+
 bool CollectSingleRowSeries(const std::string& device_name,
                             std::size_t measurements,
                             std::uint64_t seed, SingleRowSeries* out) {

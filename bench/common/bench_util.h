@@ -44,6 +44,11 @@ class Flags {
 /// comma-separated list of catalog names.
 std::vector<std::string> ResolveDevices(const std::string& spec);
 
+/// Resolve the --threads= flag for the parallel campaign executor:
+/// 0 (the default) selects hardware_concurrency, 1 forces the serial
+/// path. Results are bit-identical for every value.
+std::size_t ResolveThreads(const Flags& flags);
+
 /// One 100k-style single-row series: find a victim on the device per
 /// Alg. 1 and measure it `measurements` times.
 struct SingleRowSeries {

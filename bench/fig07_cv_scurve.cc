@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   config.base_seed = flags.GetUint("seed", 2025);
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
+  config.threads = ResolveThreads(flags);
 
   const auto n_patterns = flags.GetUint("patterns", 4);
   const auto n_tons = flags.GetUint("tons", 3);

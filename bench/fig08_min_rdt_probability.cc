@@ -9,10 +9,12 @@
  * normalized minimum) scatter per row.
  *
  * Flags: --devices=all --rows=9 --measurements=1000 --iters=10000
- *        --seed=2025
+ *        --seed=2025 --threads=0 (0 = hardware concurrency; results
+ *        are identical for every thread count)
  */
 #include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "common/bench_util.h"
 #include "core/min_rdt_mc.h"
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
   config.base_seed = flags.GetUint("seed", 2025);
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
+  config.threads = ResolveThreads(flags);
 
   core::MinRdtSettings settings;
   settings.iterations =
@@ -43,13 +46,20 @@ int main(int argc, char** argv) {
   const core::CampaignResult result = core::RunCampaign(config);
   Rng rng(config.base_seed ^ 0xf18);
 
+  // The Monte Carlo stage reuses the campaign's thread setting; the
+  // per-N fan-out inside AnalyzeRowSeries is deterministic either way.
+  std::unique_ptr<ThreadPool> pool;
+  if (config.threads != 1) {
+    pool = std::make_unique<ThreadPool>(config.threads);
+  }
+
   std::vector<std::vector<double>> prob_by_n(
       settings.sample_sizes.size());
   std::vector<std::vector<double>> norm_by_n(
       settings.sample_sizes.size());
   for (const core::SeriesRecord& record : result.records) {
     const core::RowMinRdtResult mc =
-        core::AnalyzeRowSeries(record.series, settings, rng);
+        core::AnalyzeRowSeries(record.series, settings, rng, pool.get());
     for (std::size_t i = 0; i < mc.per_n.size(); ++i) {
       prob_by_n[i].push_back(mc.per_n[i].prob_find_min);
       norm_by_n[i].push_back(mc.per_n[i].expected_norm_min);

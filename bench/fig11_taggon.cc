@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   config.base_seed = flags.GetUint("seed", 2025);
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
+  config.threads = ResolveThreads(flags);
   config.t_ons = {core::TOnChoice::kMinTras, core::TOnChoice::kTrefi,
                   core::TOnChoice::kNineTrefi};
 

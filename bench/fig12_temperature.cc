@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   config.base_seed = flags.GetUint("seed", 2025);
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
+  config.threads = ResolveThreads(flags);
   config.patterns = {dram::DataPattern::kRowstripe1};
   config.t_ons = {core::TOnChoice::kMinTras};
   config.temperatures = {50.0, 65.0, 80.0};

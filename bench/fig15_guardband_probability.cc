@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   config.base_seed = flags.GetUint("seed", 2025);
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
+  config.threads = ResolveThreads(flags);
   // Two representative parameter combinations keep the run short; add
   // more with --patterns (the trend is unchanged).
   config.patterns = {dram::DataPattern::kCheckered0,

@@ -8,6 +8,10 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "core/campaign.h"
 #include "core/rdt_profiler.h"
 #include "memsim/system.h"
 #include "vrd/chip_catalog.h"
@@ -67,6 +71,53 @@ void BM_EngineQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EngineQuery);
+
+// Thread scaling of the parallel campaign executor: a representative
+// multi-device, multi-temperature campaign (8 shards) at 1..8 worker
+// threads. Output is bit-identical across the arg values; only the
+// wall clock changes.
+void BM_CampaignThreads(benchmark::State& state) {
+  core::CampaignConfig config;
+  config.devices = {"M1", "S2", "H1", "H3"};
+  config.temperatures = {50.0, 80.0};
+  config.rows_per_device = 3;
+  config.measurements = 200;
+  config.scan_rows_per_region = 48;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t measurements = 0;
+  for (auto _ : state) {
+    const core::CampaignResult result = core::RunCampaign(config);
+    measurements = 0;
+    for (const core::SeriesRecord& record : result.records) {
+      measurements += record.series.size();
+    }
+    benchmark::DoNotOptimize(measurements);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * measurements));
+  state.counters["shards"] = static_cast<double>(
+      config.devices.size() * config.temperatures.size());
+}
+BENCHMARK(BM_CampaignThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Raw pool overhead: fan tiny tasks out over the work-stealing pool.
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::atomic<std::uint64_t> sum{0};
+  for (auto _ : state) {
+    pool.ParallelFor(1024, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sum.load());
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_MemsimRequests(benchmark::State& state) {
   const auto mixes = memsim::MakeHighMemoryIntensityMixes();

@@ -31,6 +31,8 @@ int main() {
   config.temperatures = {50.0, 80.0};
   config.use_thermal_rig = true;  // settle through the PID controller
   config.scan_rows_per_region = 64;
+  config.threads = 0;  // fan (device, temp) shards across all cores;
+                       // results are bit-identical to threads = 1
 
   std::cout << "running campaign: " << config.devices.size()
             << " modules, " << config.rows_per_device << " rows each, "

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Work-stealing thread pool for the embarrassingly-parallel hot loops
+ * of the suite (campaign shards, Monte Carlo resampling, bootstrap
+ * chunks).
+ *
+ * Design constraints, in order:
+ *  1. Determinism: the pool never owns randomness or ordering. Callers
+ *     shard work into independent index-addressed tasks whose results
+ *     land in preallocated slots, so output is bit-identical for any
+ *     worker count (including the inline serial fallback).
+ *  2. Coarse tasks: campaign shards run for seconds, so per-worker
+ *     deques guarded by plain mutexes are plenty; no lock-free
+ *     machinery is warranted.
+ *  3. Exceptions propagate: the first exception thrown by any task is
+ *     rethrown from ParallelFor on the calling thread; remaining tasks
+ *     are abandoned.
+ */
+#ifndef VRDDRAM_COMMON_THREAD_POOL_H
+#define VRDDRAM_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vrddram {
+
+class ThreadPool {
+ public:
+  /// `workers` = 0 selects DefaultWorkerCount().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return queues_.size(); }
+
+  /**
+   * Run fn(i) for every i in [0, n) across the workers and block until
+   * all complete. Indices are split into contiguous chunks; each worker
+   * drains its own deque LIFO and steals FIFO from the others when it
+   * runs dry. Rethrows the first task exception. A call from one of
+   * this pool's own worker threads runs inline (serially) instead of
+   * deadlocking on the single-job lock.
+   */
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static std::size_t DefaultWorkerCount();
+
+ private:
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;  ///< exclusive
+  };
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Chunk> chunks;
+  };
+
+  void WorkerLoop(std::size_t index);
+  /// Pop from own deque (back) or steal from another (front).
+  bool TryClaim(std::size_t index, Chunk* out);
+  void RunChunk(const Chunk& chunk);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::jthread> workers_;
+
+  /// Serializes ParallelFor callers: one job at a time.
+  std::mutex job_mutex_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_cv_;  ///< workers wait for chunks
+  std::condition_variable done_cv_;  ///< caller waits for completion
+  bool stopping_ = false;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  /// Chunks not yet claimed by any worker (wait predicate).
+  std::atomic<std::size_t> unclaimed_{0};
+  /// Chunks not yet fully executed (completion predicate).
+  std::size_t pending_ = 0;
+  std::atomic<bool> abort_{false};
+  std::exception_ptr error_;
+};
+
+/**
+ * Convenience fan-out used by the parallel hot loops: runs fn(i) for i
+ * in [0, n) on `pool` when it is non-null and has more than one
+ * worker, inline on the calling thread otherwise. Either way every
+ * index runs exactly once, so results are identical.
+ */
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace vrddram
+
+#endif  // VRDDRAM_COMMON_THREAD_POOL_H

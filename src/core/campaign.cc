@@ -1,10 +1,17 @@
 #include "core/campaign.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
 #include <ostream>
+#include <set>
+#include <sstream>
+#include <tuple>
 
 #include "bender/thermal.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace vrddram::core {
 
@@ -68,9 +75,13 @@ std::vector<dram::RowAddr> SelectVulnerableRows(
         candidates.push_back(Candidate{row, sum / 10.0});
       }
     }
+    // Tie-break equal means by row so the selected set is a pure
+    // function of the measurements, not of sort implementation or
+    // candidate order.
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) {
-                return a.mean_rdt < b.mean_rdt;
+                return std::tie(a.mean_rdt, a.row) <
+                       std::tie(b.mean_rdt, b.row);
               });
     if (candidates.size() > per_region) {
       candidates.resize(per_region);
@@ -89,78 +100,182 @@ std::vector<dram::RowAddr> SelectVulnerableRows(
   return selected;
 }
 
+namespace {
+
+/**
+ * One unit of campaign work: everything a single (device, temperature)
+ * combination measures. The shard builds its own device from
+ * (name, base_seed) — the same deterministic derivation for every
+ * worker count — so shards share no mutable state and can run on any
+ * thread in any order.
+ */
+std::vector<SeriesRecord> RunShard(const CampaignConfig& config,
+                                   const std::string& name,
+                                   Celsius temperature) {
+  const vrd::TestedChip chip =
+      vrd::MakeTestedChip(name, config.base_seed);
+  std::unique_ptr<dram::Device> device =
+      vrd::BuildDevice(name, config.base_seed);
+  auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());
+  VRD_ASSERT(engine != nullptr);
+  if (device->config().has_on_die_ecc) {
+    // §3.1: disable the HBM2 chips' on-die ECC via the mode register.
+    device->SetOnDieEccEnabled(false);
+  }
+
+  // Row selection runs on the freshly built device, before the shard
+  // temperature is applied, so every shard of the same device selects
+  // the identical row set.
+  const std::size_t per_region =
+      std::max<std::size_t>(1, config.rows_per_device / 3);
+  const std::vector<dram::RowAddr> rows = SelectVulnerableRows(
+      *device, *engine, /*bank=*/0, per_region,
+      config.scan_rows_per_region, dram::DataPattern::kCheckered0,
+      device->timing().tRAS);
+
+  if (config.use_thermal_rig) {
+    bender::TemperatureController rig(*device);
+    rig.SettleTo(temperature);
+  } else {
+    device->SetTemperature(temperature);
+    device->Sleep(30 * units::kSecond);
+  }
+
+  std::vector<SeriesRecord> records;
+  for (const TOnChoice t_on_choice : config.t_ons) {
+    const Tick t_on = ResolveTOn(t_on_choice, device->timing());
+    for (const dram::DataPattern pattern : config.patterns) {
+      ProfilerConfig pc;
+      pc.bank = 0;
+      pc.pattern = pattern;
+      pc.t_on = t_on;
+      pc.mode = SweepMode::kAnalytic;
+      RdtProfiler profiler(*device, pc);
+
+      for (const dram::RowAddr row : rows) {
+        const std::optional<std::uint64_t> guess = profiler.GuessRdt(row);
+        if (!guess) {
+          continue;  // row does not flip under this combination
+        }
+        SeriesRecord record;
+        record.device = name;
+        record.mfr = chip.spec.mfr;
+        record.standard = chip.spec.standard;
+        record.density_gbit = chip.spec.density_gbit;
+        record.die_rev = chip.spec.die_rev;
+        record.row = row;
+        record.pattern = pattern;
+        record.t_on = t_on_choice;
+        record.temperature = temperature;
+        record.rdt_guess = *guess;
+        record.series =
+            profiler.MeasureSeries(row, *guess, config.measurements);
+        records.push_back(std::move(record));
+      }
+    }
+  }
+  return records;
+}
+
+}  // namespace
+
 CampaignResult RunCampaign(const CampaignConfig& config,
                            std::ostream* progress) {
   VRD_FATAL_IF(config.devices.empty(), "campaign needs devices");
   VRD_FATAL_IF(config.measurements == 0, "campaign needs measurements");
-  CampaignResult result;
 
+  struct Shard {
+    const std::string* device = nullptr;
+    Celsius temperature = 0.0;
+  };
+  // Canonical shard order: device-major, temperature-minor — the same
+  // nesting the serial loop used, and the order results merge in.
+  std::vector<Shard> shards;
+  shards.reserve(config.devices.size() * config.temperatures.size());
   for (const std::string& name : config.devices) {
-    const vrd::TestedChip chip =
-        vrd::MakeTestedChip(name, config.base_seed);
-    std::unique_ptr<dram::Device> device =
-        vrd::BuildDevice(name, config.base_seed);
-    auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());
-    VRD_ASSERT(engine != nullptr);
-    if (device->config().has_on_die_ecc) {
-      // §3.1: disable the HBM2 chips' on-die ECC via the mode register.
-      device->SetOnDieEccEnabled(false);
-    }
-
-    const std::size_t per_region =
-        std::max<std::size_t>(1, config.rows_per_device / 3);
-    const std::vector<dram::RowAddr> rows = SelectVulnerableRows(
-        *device, *engine, /*bank=*/0, per_region,
-        config.scan_rows_per_region, dram::DataPattern::kCheckered0,
-        device->timing().tRAS);
-
-    bender::TemperatureController rig(*device);
     for (const Celsius temperature : config.temperatures) {
-      if (config.use_thermal_rig) {
-        rig.SettleTo(temperature);
-      } else {
-        device->SetTemperature(temperature);
-        device->Sleep(30 * units::kSecond);
-      }
-      if (progress != nullptr) {
-        *progress << "campaign: " << name << " @ " << temperature
-                  << " degC, " << rows.size() << " rows\n";
-      }
-
-      for (const TOnChoice t_on_choice : config.t_ons) {
-        const Tick t_on = ResolveTOn(t_on_choice, device->timing());
-        for (const dram::DataPattern pattern : config.patterns) {
-          ProfilerConfig pc;
-          pc.bank = 0;
-          pc.pattern = pattern;
-          pc.t_on = t_on;
-          pc.mode = SweepMode::kAnalytic;
-          RdtProfiler profiler(*device, pc);
-
-          for (const dram::RowAddr row : rows) {
-            const std::optional<std::uint64_t> guess =
-                profiler.GuessRdt(row);
-            if (!guess) {
-              continue;  // row does not flip under this combination
-            }
-            SeriesRecord record;
-            record.device = name;
-            record.mfr = chip.spec.mfr;
-            record.standard = chip.spec.standard;
-            record.density_gbit = chip.spec.density_gbit;
-            record.die_rev = chip.spec.die_rev;
-            record.row = row;
-            record.pattern = pattern;
-            record.t_on = t_on_choice;
-            record.temperature = temperature;
-            record.rdt_guess = *guess;
-            record.series =
-                profiler.MeasureSeries(row, *guess, config.measurements);
-            result.records.push_back(std::move(record));
-          }
-        }
-      }
+      shards.push_back(Shard{&name, temperature});
     }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::mutex progress_mutex;
+  std::vector<std::vector<SeriesRecord>> per_shard(shards.size());
+
+  auto run_one = [&](std::size_t index) {
+    const Shard& shard = shards[index];
+    const auto shard_start = std::chrono::steady_clock::now();
+    per_shard[index] = RunShard(config, *shard.device, shard.temperature);
+    if (progress == nullptr) {
+      return;
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      shard_start)
+            .count();
+    std::size_t rows = 0;
+    std::size_t measurements = 0;
+    {
+      std::set<dram::RowAddr> distinct;
+      for (const SeriesRecord& record : per_shard[index]) {
+        distinct.insert(record.row);
+        measurements += record.series.size();
+      }
+      rows = distinct.size();
+    }
+    const std::size_t series = per_shard[index].size();
+    std::ostringstream line;
+    line << "campaign: " << *shard.device << " @ " << shard.temperature
+         << " degC: " << rows << " rows, " << series << " series, "
+         << measurements << " measurements in " << seconds << " s";
+    if (seconds > 0.0) {
+      line << " (" << static_cast<double>(series) / seconds
+           << " series/s, " << static_cast<double>(measurements) / seconds
+           << " meas/s)";
+    }
+    line << '\n';
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    *progress << line.str();
+  };
+
+  const std::size_t threads =
+      config.threads == 0 ? ThreadPool::DefaultWorkerCount()
+                          : config.threads;
+  const std::size_t workers = std::min(threads, shards.size());
+  if (workers > 1) {
+    ThreadPool pool(workers);
+    pool.ParallelFor(shards.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      run_one(i);
+    }
+  }
+
+  CampaignResult result;
+  std::size_t total_series = 0;
+  std::size_t total_measurements = 0;
+  for (std::vector<SeriesRecord>& records : per_shard) {
+    for (SeriesRecord& record : records) {
+      total_series += 1;
+      total_measurements += record.series.size();
+      result.records.push_back(std::move(record));
+    }
+  }
+  if (progress != nullptr) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    *progress << "campaign: done: " << shards.size() << " shards, "
+              << total_series << " series, " << total_measurements
+              << " measurements in " << seconds << " s wall on "
+              << workers << " thread(s)";
+    if (seconds > 0.0) {
+      *progress << " ("
+                << static_cast<double>(total_measurements) / seconds
+                << " meas/s)";
+    }
+    *progress << '\n';
   }
   return result;
 }

@@ -42,6 +42,15 @@ struct CampaignConfig {
   /// Settle temperatures through the simulated heater + PID rig; when
   /// false the device temperature is set directly (fast).
   bool use_thermal_rig = false;
+  /**
+   * Worker threads for the campaign executor: the campaign is sharded
+   * at (device, temperature) granularity and shards run concurrently
+   * on a work-stealing pool. 0 selects hardware_concurrency, 1 runs
+   * the shards inline on the calling thread. Results are bit-identical
+   * for every setting: each shard derives all state deterministically
+   * from (device name, base_seed) and the merge order is canonical.
+   */
+  std::size_t threads = 0;
 };
 
 /// One collected measurement series and its full test-parameter key.
@@ -74,8 +83,20 @@ std::vector<dram::RowAddr> SelectVulnerableRows(
     std::size_t per_region, std::size_t scan_per_region,
     dram::DataPattern pattern, Tick t_on);
 
-/// Run a full campaign. `progress` (optional) receives one line per
-/// device/temperature step.
+/**
+ * Run a full campaign. Work is sharded per (device, temperature) and
+ * executed on `config.threads` workers; every shard builds its own
+ * `dram::Device` (device state is derived purely from the catalog name
+ * and `base_seed`), so shards share nothing and the merged result is
+ * bit-identical to a single-threaded run.
+ *
+ * `progress` (optional) receives one telemetry line per completed
+ * shard — rows, series, measurements, wall-clock seconds, and the
+ * series/s and measurements/s rates — plus a campaign summary line.
+ * Writes are mutex-serialized; with several workers the *order* of
+ * shard lines follows completion order, only the records are
+ * canonically ordered.
+ */
 CampaignResult RunCampaign(const CampaignConfig& config,
                            std::ostream* progress = nullptr);
 

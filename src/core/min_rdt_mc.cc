@@ -1,12 +1,14 @@
 #include "core/min_rdt_mc.h"
 
+#include <string>
+
 #include "common/error.h"
 
 namespace vrddram::core {
 
 RowMinRdtResult AnalyzeRowSeries(std::span<const std::int64_t> series,
                                  const MinRdtSettings& settings,
-                                 Rng& rng) {
+                                 Rng& rng, ThreadPool* pool) {
   std::vector<std::int64_t> valid;
   valid.reserve(series.size());
   for (const std::int64_t v : series) {
@@ -16,12 +18,22 @@ RowMinRdtResult AnalyzeRowSeries(std::span<const std::int64_t> series,
   }
   VRD_FATAL_IF(valid.empty(), "series has no flipping measurements");
 
-  RowMinRdtResult out;
-  out.per_n.reserve(settings.sample_sizes.size());
+  // Fork one stream per sample size up front (in N order) so every
+  // task draws from its own RNG: the fan-out below never shares a
+  // generator, and the output does not depend on the worker count.
+  std::vector<Rng> streams;
+  streams.reserve(settings.sample_sizes.size());
   for (const std::size_t n : settings.sample_sizes) {
-    out.per_n.push_back(stats::SampleMinStatistics(
-        valid, n, settings.iterations, rng, settings.margins));
+    streams.push_back(rng.Fork("minrdt/n=" + std::to_string(n)));
   }
+
+  RowMinRdtResult out;
+  out.per_n.resize(settings.sample_sizes.size());
+  ParallelFor(pool, settings.sample_sizes.size(), [&](std::size_t i) {
+    out.per_n[i] = stats::SampleMinStatistics(
+        valid, settings.sample_sizes[i], settings.iterations, streams[i],
+        settings.margins);
+  });
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "stats/monte_carlo.h"
 
 namespace vrddram::core {
@@ -34,10 +35,14 @@ struct RowMinRdtResult {
 
 /**
  * Resample one series (kNoFlip sentinels removed) for each configured
- * N. The caller supplies the RNG so campaigns stay deterministic.
+ * N. The caller supplies the RNG so campaigns stay deterministic: one
+ * child stream is forked per sample size (in order, before any work is
+ * dispatched), so the result is bit-identical whether the per-N
+ * resampling runs inline (`pool` null) or fanned out across workers.
  */
 RowMinRdtResult AnalyzeRowSeries(std::span<const std::int64_t> series,
-                                 const MinRdtSettings& settings, Rng& rng);
+                                 const MinRdtSettings& settings, Rng& rng,
+                                 ThreadPool* pool = nullptr);
 
 }  // namespace vrddram::core
 

@@ -57,15 +57,29 @@ Tick RdtProfiler::IterationTime(std::uint64_t hc) const {
   return init + hammer + read;
 }
 
+RdtProfiler::SeriesContext RdtProfiler::MakeSeriesContext(
+    dram::RowAddr victim, std::uint64_t rdt_guess) const {
+  SeriesContext ctx;
+  ctx.grid = GridFor(rdt_guess);
+  ctx.t_on = EffectiveTOn();
+  if (config_.mode == SweepMode::kAnalytic) {
+    ctx.phys = device_->mapper().ToPhysical(victim);
+    ctx.fixed_per_step = IterationTime(0);
+    ctx.per_hammer = 2 * (ctx.t_on + device_->timing().tRP);
+  }
+  return ctx;
+}
+
 std::int64_t RdtProfiler::MeasureOnceSwept(dram::RowAddr victim,
-                                           const Grid& grid) {
+                                           const SeriesContext& ctx) {
+  const Grid& grid = ctx.grid;
   for (std::uint64_t hc = grid.lo; hc < grid.hi; hc += grid.step) {
     const std::vector<dram::BitFlip> flips =
         (config_.mode == SweepMode::kCommandLevel)
             ? host_.TestOnceExact(config_.bank, victim, config_.pattern,
-                                  hc, EffectiveTOn())
+                                  hc, ctx.t_on)
             : host_.TestOnce(config_.bank, victim, config_.pattern, hc,
-                             EffectiveTOn());
+                             ctx.t_on);
     if (!flips.empty()) {
       return static_cast<std::int64_t>(hc);
     }
@@ -73,13 +87,12 @@ std::int64_t RdtProfiler::MeasureOnceSwept(dram::RowAddr victim,
   return kNoFlip;
 }
 
-std::int64_t RdtProfiler::MeasureOnceAnalytic(dram::RowAddr victim,
-                                              const Grid& grid) {
+std::int64_t RdtProfiler::MeasureOnceAnalytic(const SeriesContext& ctx) {
   VRD_ASSERT(engine_ != nullptr);
-  const dram::PhysicalRow phys = device_->mapper().ToPhysical(victim);
+  const Grid& grid = ctx.grid;
   const double rdt_true = engine_->MinFlipHammerCount(
-      config_.bank, phys, dram::VictimByte(config_.pattern),
-      dram::AggressorByte(config_.pattern), EffectiveTOn(),
+      config_.bank, ctx.phys, dram::VictimByte(config_.pattern),
+      dram::AggressorByte(config_.pattern), ctx.t_on,
       device_->temperature(), device_->encoding(), device_->Now());
 
   // First grid value whose hammer count reaches the flipping count.
@@ -107,33 +120,38 @@ std::int64_t RdtProfiler::MeasureOnceAnalytic(dram::RowAddr victim,
                             : grid.lo + ((grid.hi - 1 - grid.lo) /
                                          grid.step) * grid.step;
   const std::uint64_t steps = (last_hc - grid.lo) / grid.step + 1;
-  const Tick fixed_per_step = IterationTime(0);
-  const Tick per_hammer = 2 * (EffectiveTOn() + device_->timing().tRP);
   // Sum of the arithmetic hammer-count sequence lo, lo+step, ..., last.
   const auto hammer_sum = static_cast<Tick>(
       steps * (grid.lo + last_hc) / 2);
   const Tick duration =
-      static_cast<Tick>(steps) * fixed_per_step +
-      per_hammer * hammer_sum;
+      static_cast<Tick>(steps) * ctx.fixed_per_step +
+      ctx.per_hammer * hammer_sum;
   device_->Sleep(duration);
   return observed;
 }
 
+std::int64_t RdtProfiler::MeasureOnceWith(const SeriesContext& ctx,
+                                          dram::RowAddr victim) {
+  if (config_.mode == SweepMode::kAnalytic) {
+    return MeasureOnceAnalytic(ctx);
+  }
+  return MeasureOnceSwept(victim, ctx);
+}
+
 std::int64_t RdtProfiler::MeasureOnce(dram::RowAddr victim,
                                       std::uint64_t rdt_guess) {
-  const Grid grid = GridFor(rdt_guess);
-  if (config_.mode == SweepMode::kAnalytic) {
-    return MeasureOnceAnalytic(victim, grid);
-  }
-  return MeasureOnceSwept(victim, grid);
+  return MeasureOnceWith(MakeSeriesContext(victim, rdt_guess), victim);
 }
 
 std::vector<std::int64_t> RdtProfiler::MeasureSeries(
     dram::RowAddr victim, std::uint64_t rdt_guess, std::size_t n) {
   std::vector<std::int64_t> series;
   series.reserve(n);
+  // The grid, row mapping, and timing constants depend only on
+  // (victim, rdt_guess), which are fixed for the series.
+  const SeriesContext ctx = MakeSeriesContext(victim, rdt_guess);
   for (std::size_t i = 0; i < n; ++i) {
-    series.push_back(MeasureOnce(victim, rdt_guess));
+    series.push_back(MeasureOnceWith(ctx, victim));
   }
   return series;
 }
@@ -174,8 +192,9 @@ std::optional<std::uint64_t> RdtProfiler::GuessRdt(dram::RowAddr victim) {
   // repeated measurements.
   double sum = 0.0;
   std::size_t hits = 0;
+  const SeriesContext ctx = MakeSeriesContext(victim, rough);
   for (std::size_t i = 0; i < config_.guess_measurements; ++i) {
-    const std::int64_t rdt = MeasureOnce(victim, rough);
+    const std::int64_t rdt = MeasureOnceWith(ctx, victim);
     if (rdt != kNoFlip) {
       sum += static_cast<double>(rdt);
       ++hits;

@@ -105,8 +105,29 @@ class RdtProfiler {
   };
   Grid GridFor(std::uint64_t rdt_guess) const;
 
-  std::int64_t MeasureOnceSwept(dram::RowAddr victim, const Grid& grid);
-  std::int64_t MeasureOnceAnalytic(dram::RowAddr victim, const Grid& grid);
+  /**
+   * Everything about one (victim, rdt_guess) series that is invariant
+   * across its measurements: the sweep grid, the physical row, and the
+   * timing-derived constants of the analytic duration model. Computed
+   * once per series instead of once per measurement, which keeps the
+   * 100k-measurement inner loop free of mapper lookups and timing
+   * recomputation.
+   */
+  struct SeriesContext {
+    Grid grid;
+    dram::PhysicalRow phys{0};
+    Tick t_on = 0;            ///< EffectiveTOn()
+    Tick fixed_per_step = 0;  ///< IterationTime(0)
+    Tick per_hammer = 0;      ///< 2 * (t_on + tRP)
+  };
+  SeriesContext MakeSeriesContext(dram::RowAddr victim,
+                                  std::uint64_t rdt_guess) const;
+
+  std::int64_t MeasureOnceWith(const SeriesContext& ctx,
+                               dram::RowAddr victim);
+  std::int64_t MeasureOnceSwept(dram::RowAddr victim,
+                                const SeriesContext& ctx);
+  std::int64_t MeasureOnceAnalytic(const SeriesContext& ctx);
 
   /// Elapsed time of one init+hammer+read iteration at hammer count hc.
   Tick IterationTime(std::uint64_t hc) const;

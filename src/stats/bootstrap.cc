@@ -1,6 +1,7 @@
 #include "stats/bootstrap.h"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
@@ -10,7 +11,8 @@ namespace vrddram::stats {
 
 BootstrapCI Bootstrap(std::span<const double> xs,
                       const Statistic& statistic, Rng& rng,
-                      std::size_t resamples, double confidence) {
+                      std::size_t resamples, double confidence,
+                      ThreadPool* pool) {
   VRD_FATAL_IF(xs.empty(), "bootstrap of an empty sample");
   VRD_FATAL_IF(resamples < 10, "bootstrap needs resamples");
   VRD_FATAL_IF(confidence <= 0.0 || confidence >= 1.0,
@@ -19,15 +21,29 @@ BootstrapCI Bootstrap(std::span<const double> xs,
   BootstrapCI ci;
   ci.point = statistic(xs);
 
-  std::vector<double> estimates;
-  estimates.reserve(resamples);
-  std::vector<double> resample(xs.size());
-  for (std::size_t r = 0; r < resamples; ++r) {
-    for (double& value : resample) {
-      value = xs[rng.NextBelow(xs.size())];
-    }
-    estimates.push_back(statistic(resample));
+  // Fixed-size chunks with a pre-forked stream each: the estimates are
+  // independent of both the worker count and whether a pool is used at
+  // all.
+  constexpr std::size_t kChunk = 256;
+  const std::size_t chunks = (resamples + kChunk - 1) / kChunk;
+  std::vector<Rng> streams;
+  streams.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    streams.push_back(rng.Fork("bootstrap/chunk=" + std::to_string(c)));
   }
+
+  std::vector<double> estimates(resamples);
+  ParallelFor(pool, chunks, [&](std::size_t c) {
+    Rng& stream = streams[c];
+    std::vector<double> resample(xs.size());
+    const std::size_t end = std::min(resamples, (c + 1) * kChunk);
+    for (std::size_t r = c * kChunk; r < end; ++r) {
+      for (double& value : resample) {
+        value = xs[stream.NextBelow(xs.size())];
+      }
+      estimates[r] = statistic(resample);
+    }
+  });
   const double alpha = (1.0 - confidence) / 2.0;
   ci.lo = Percentile(estimates, 100.0 * alpha);
   ci.hi = Percentile(estimates, 100.0 * (1.0 - alpha));

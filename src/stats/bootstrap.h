@@ -12,6 +12,7 @@
 #include <span>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace vrddram::stats {
 
@@ -32,11 +33,18 @@ using Statistic = std::function<double(std::span<const double>)>;
  * Percentile bootstrap: resample `xs` with replacement `resamples`
  * times, evaluate `statistic` on each resample, and report the
  * (1-confidence)/2 and 1-(1-confidence)/2 quantiles.
+ *
+ * Resamples are drawn in fixed-size chunks, each from its own child
+ * stream forked off `rng` before any work runs, so the interval is a
+ * pure function of (xs, rng state, resamples, confidence): passing a
+ * `pool` fans the chunks out across workers without changing a single
+ * bit of the result.
  */
 BootstrapCI Bootstrap(std::span<const double> xs,
                       const Statistic& statistic, Rng& rng,
                       std::size_t resamples = 2000,
-                      double confidence = 0.95);
+                      double confidence = 0.95,
+                      ThreadPool* pool = nullptr);
 
 }  // namespace vrddram::stats
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
 
@@ -98,6 +100,73 @@ TEST(CampaignTest, MetadataCarriedThrough) {
   EXPECT_EQ(result.records[0].mfr, vrd::Manufacturer::kMfrH);
   EXPECT_EQ(result.records[0].density_gbit, 16u);
   EXPECT_EQ(result.records[0].die_rev, 'C');
+}
+
+TEST(CampaignTest, ParallelOutputBitIdenticalToSerial) {
+  // The golden determinism contract of the parallel executor: every
+  // worker count produces the same records, in the same order, with
+  // the same series values, bit for bit.
+  CampaignConfig config;
+  config.devices = {"M1", "S2"};
+  config.rows_per_device = 3;
+  config.measurements = 25;
+  config.t_ons = {TOnChoice::kMinTras, TOnChoice::kTrefi};
+  config.temperatures = {50.0, 80.0};
+  config.scan_rows_per_region = 32;
+
+  config.threads = 1;
+  const CampaignResult serial = RunCampaign(config);
+  ASSERT_FALSE(serial.records.empty());
+
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    config.threads = workers;
+    const CampaignResult parallel = RunCampaign(config);
+    ASSERT_EQ(parallel.records.size(), serial.records.size())
+        << "workers=" << workers;
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      const SeriesRecord& a = serial.records[i];
+      const SeriesRecord& b = parallel.records[i];
+      EXPECT_EQ(a.device, b.device);
+      EXPECT_EQ(a.mfr, b.mfr);
+      EXPECT_EQ(a.standard, b.standard);
+      EXPECT_EQ(a.density_gbit, b.density_gbit);
+      EXPECT_EQ(a.die_rev, b.die_rev);
+      EXPECT_EQ(a.row, b.row);
+      EXPECT_EQ(a.pattern, b.pattern);
+      EXPECT_EQ(a.t_on, b.t_on);
+      EXPECT_EQ(a.temperature, b.temperature);
+      EXPECT_EQ(a.rdt_guess, b.rdt_guess);
+      ASSERT_EQ(a.series, b.series)
+          << "workers=" << workers << " record=" << i;
+    }
+  }
+}
+
+TEST(CampaignTest, RecordsMergeInCanonicalOrder) {
+  // Device-major, temperature-minor, regardless of which shard
+  // finishes first.
+  CampaignConfig config;
+  config.devices = {"S2", "M1"};
+  config.rows_per_device = 3;
+  config.measurements = 15;
+  config.temperatures = {80.0, 50.0};
+  config.scan_rows_per_region = 32;
+  config.threads = 4;
+  const CampaignResult result = RunCampaign(config);
+  ASSERT_FALSE(result.records.empty());
+  std::vector<std::pair<std::string, int>> keys;
+  for (const SeriesRecord& record : result.records) {
+    const std::pair<std::string, int> key{
+        record.device, static_cast<int>(record.temperature)};
+    if (keys.empty() || keys.back() != key) {
+      keys.push_back(key);
+    }
+  }
+  // Each (device, temperature) block appears exactly once, in the
+  // configured order.
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"S2", 80}, {"S2", 50}, {"M1", 80}, {"M1", 50}};
+  EXPECT_EQ(keys, expected);
 }
 
 TEST(CampaignTest, InvalidConfigsThrow) {

@@ -238,23 +238,50 @@ TEST_F(FindingsTest, Finding12ProfileChangesWithDataPattern) {
 }
 
 TEST_F(FindingsTest, Finding13NoSingleWorstPattern) {
-  // Per device, which pattern has the worse median profile? With the
-  // fixed seed the answer differs across devices.
+  // Separate campaign over all four data patterns and six devices
+  // across the three manufacturers: the pattern with the worst median
+  // profile must differ across chips (per-cell coupling jitter makes
+  // the worst pattern a property of the individual device, not of the
+  // suite).
+  core::CampaignConfig config;
+  config.devices = {"H1", "H3", "M0", "M1", "S2", "S5"};
+  config.rows_per_device = 6;
+  config.measurements = 300;
+  config.patterns.assign(dram::kAllDataPatterns,
+                         dram::kAllDataPatterns + 4);
+  config.scan_rows_per_region = 48;
+  config.base_seed = 2025;
+  const core::CampaignResult result = core::RunCampaign(config);
+
   std::set<int> worst;
-  for (const char* device : {"H1", "M1", "S2"}) {
-    const double c0 = MedianNormMinN1(
-        [device](const core::SeriesRecord& r) {
-          return r.device == device &&
-                 r.pattern == dram::DataPattern::kCheckered0;
-        });
-    const double r1 = MedianNormMinN1(
-        [device](const core::SeriesRecord& r) {
-          return r.device == device &&
-                 r.pattern == dram::DataPattern::kRowstripe1;
-        });
-    worst.insert(c0 > r1 ? 0 : 1);
+  for (const std::string& device : config.devices) {
+    int worst_pattern = -1;
+    double worst_median = 0.0;
+    for (const dram::DataPattern pattern : config.patterns) {
+      core::MinRdtSettings settings;
+      settings.sample_sizes = {1};
+      settings.iterations = 1500;
+      Rng rng(99);
+      std::vector<double> values;
+      for (const core::SeriesRecord& record : result.records) {
+        if (record.device != device || record.pattern != pattern) {
+          continue;
+        }
+        values.push_back(
+            core::AnalyzeRowSeries(record.series, settings, rng)
+                .per_n[0]
+                .expected_norm_min);
+      }
+      ASSERT_FALSE(values.empty());
+      const double median = stats::Median(values);
+      if (median > worst_median) {
+        worst_median = median;
+        worst_pattern = static_cast<int>(pattern);
+      }
+    }
+    worst.insert(worst_pattern);
   }
-  EXPECT_EQ(worst.size(), 2u)
+  EXPECT_GT(worst.size(), 1u)
       << "the worst pattern must differ across chips";
 }
 
