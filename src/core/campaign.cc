@@ -1,7 +1,6 @@
 #include "core/campaign.h"
 
 #include <algorithm>
-#include <chrono>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -11,6 +10,7 @@
 
 #include "bender/thermal.h"
 #include "common/error.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 
 namespace vrddram::core {
@@ -198,21 +198,18 @@ CampaignResult RunCampaign(const CampaignConfig& config,
     }
   }
 
-  const auto wall_start = std::chrono::steady_clock::now();
+  const Stopwatch wall_watch;
   std::mutex progress_mutex;
   std::vector<std::vector<SeriesRecord>> per_shard(shards.size());
 
   auto run_one = [&](std::size_t index) {
     const Shard& shard = shards[index];
-    const auto shard_start = std::chrono::steady_clock::now();
+    const Stopwatch shard_watch;
     per_shard[index] = RunShard(config, *shard.device, shard.temperature);
     if (progress == nullptr) {
       return;
     }
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      shard_start)
-            .count();
+    const double seconds = shard_watch.Seconds();
     std::size_t rows = 0;
     std::size_t measurements = 0;
     {
@@ -262,10 +259,7 @@ CampaignResult RunCampaign(const CampaignConfig& config,
     }
   }
   if (progress != nullptr) {
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
+    const double seconds = wall_watch.Seconds();
     *progress << "campaign: done: " << shards.size() << " shards, "
               << total_series << " series, " << total_measurements
               << " measurements in " << seconds << " s wall on "

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "common/sorted.h"
 #include "core/campaign.h"
 
 namespace vrddram::core {
@@ -108,14 +109,21 @@ std::vector<RowGuardbandOutcome> RunGuardbandStudy(
           for (const std::uint32_t bit : unique_bits) {
             const std::uint32_t byte = bit / 8;
             chip_set.insert(byte % chips);
-            std::size_t& s = secded[byte / 8];
-            s += 1;
+            secded[byte / 8] += 1;
+            chipkill[byte / 16] += 1;
+          }
+          // Aggregate over key-sorted snapshots so the reported maxima
+          // are a pure function of the histogram contents, never of
+          // hash-table iteration order (DESIGN.md §6).
+          for (const auto& [codeword, count] : SortedByKey(secded)) {
+            (void)codeword;
             per.max_per_secded_codeword =
-                std::max(per.max_per_secded_codeword, s);
-            std::size_t& c = chipkill[byte / 16];
-            c += 1;
+                std::max(per.max_per_secded_codeword, count);
+          }
+          for (const auto& [codeword, count] : SortedByKey(chipkill)) {
+            (void)codeword;
             per.max_per_chipkill_codeword =
-                std::max(per.max_per_chipkill_codeword, c);
+                std::max(per.max_per_chipkill_codeword, count);
           }
           per.chips_touched = chip_set.size();
           outcome.per_margin.push_back(per);

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/error.h"
+#include "common/sorted.h"
 #include "ecc/on_die.h"
 
 namespace vrddram::dram {
@@ -141,8 +142,11 @@ void Device::ServiceAlert() {
     VRD_FATAL_IF(banks_[bank].state() != BankState::kIdle,
                  "back-off requires all banks precharged");
   }
-  for (auto& [key, counter] : prac_counters_) {
-    if (counter < prac_threshold_ || prac_threshold_ == 0) {
+  // Service rows in (bank, row) key order: each serviced row advances
+  // now_, so hash-order iteration would make restore timestamps — and
+  // through them retention state — depend on the map's growth history.
+  for (const auto& [key, count] : SortedByKey(prac_counters_)) {
+    if (count < prac_threshold_ || prac_threshold_ == 0) {
       continue;
     }
     const auto bank = static_cast<BankId>(key >> 32);
@@ -156,7 +160,7 @@ void Device::ServiceAlert() {
       MaterializeAndRestore(
           bank, PhysicalRow{static_cast<RowAddr>(neighbour)});
     }
-    counter = 0;
+    prac_counters_[key] = 0;
     now_ += config_.timing.tRFC;
   }
   alert_pending_ = false;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/sorted.h"
 
 namespace vrddram::memsim {
 
@@ -102,6 +103,17 @@ void Graphene::OnRefresh(Tick now) {
   // simplicity (more conservative than per-tREFW).
 }
 
+std::vector<std::pair<std::uint32_t, std::vector<Graphene::Entry>>>
+Graphene::SortedTables() const {
+  auto tables = SortedByKey(tables_);
+  for (auto& [bank, table] : tables) {
+    (void)bank;
+    std::sort(table.begin(), table.end(),
+              [](const Entry& a, const Entry& b) { return a.row < b.row; });
+  }
+  return tables;
+}
+
 // -- PRAC --------------------------------------------------------------------
 
 Prac::Prac(std::uint64_t rdt, MitigationCosts costs) : costs_(costs) {
@@ -128,6 +140,11 @@ Penalty Prac::OnActivate(std::uint32_t bank, std::uint32_t row,
     penalty.rank_busy = costs_.rfm;
   }
   return penalty;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Prac::SortedCounters()
+    const {
+  return SortedByKey(counters_);
 }
 
 // -- PARA --------------------------------------------------------------------
@@ -184,6 +201,11 @@ Penalty Mint::OnActivate(std::uint32_t bank, std::uint32_t row,
     penalty.extra_activations = 4;  // refresh-management row cycles
   }
   return penalty;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+Mint::SortedBankCounters() const {
+  return SortedByKey(acts_since_rfm_);
 }
 
 }  // namespace vrddram::memsim

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -110,11 +111,20 @@ class Graphene final : public Mitigation {
   }
   std::uint64_t threshold() const { return threshold_; }
 
- private:
   struct Entry {
     std::uint32_t row = 0;
     std::uint64_t count = 0;
   };
+  /**
+   * Bank-sorted snapshot of the Misra-Gries tables, each table's
+   * entries sorted by row. All stats/output over tracker state go
+   * through this (never the raw hash map), so reported rows are a pure
+   * function of the tracked counts — DESIGN.md §6.
+   */
+  std::vector<std::pair<std::uint32_t, std::vector<Entry>>> SortedTables()
+      const;
+
+ private:
   std::uint64_t threshold_;
   std::size_t table_size_;
   MitigationCosts costs_;
@@ -136,6 +146,11 @@ class Prac final : public Mitigation {
   MitigationKind kind() const override { return MitigationKind::kPrac; }
   std::uint64_t threshold() const { return threshold_; }
   static constexpr Tick kPerActTax = 1 * units::kNanosecond;
+
+  /// Key-sorted ((bank << 32) | row, count) snapshot of the per-row
+  /// activation counters; the only sanctioned way to enumerate them.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> SortedCounters()
+      const;
 
  private:
   std::uint64_t threshold_;
@@ -174,6 +189,10 @@ class Mint final : public Mitigation {
                      Tick now) override;
   MitigationKind kind() const override { return MitigationKind::kMint; }
   std::uint64_t rfm_interval() const { return rfm_interval_; }
+
+  /// Bank-sorted (bank, activations-since-RFM) snapshot.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> SortedBankCounters()
+      const;
 
  private:
   std::uint64_t rfm_interval_;

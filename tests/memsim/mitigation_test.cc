@@ -150,6 +150,44 @@ TEST(MitigationTest, TooSmallRdtRejected) {
   EXPECT_THROW(Mint(4, costs, 1), FatalError);
 }
 
+TEST(MitigationTest, SortedSnapshotsAreKeyOrdered) {
+  const MitigationCosts costs = MitigationCosts::FromTiming(kTiming);
+
+  Graphene graphene(1024, costs);
+  graphene.OnActivate(3, 90, 0);
+  graphene.OnActivate(1, 70, 0);
+  graphene.OnActivate(1, 50, 0);
+  const auto tables = graphene.SortedTables();
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0].first, 1u);
+  EXPECT_EQ(tables[1].first, 3u);
+  ASSERT_EQ(tables[0].second.size(), 2u);
+  EXPECT_EQ(tables[0].second[0].row, 50u);
+  EXPECT_EQ(tables[0].second[1].row, 70u);
+  EXPECT_EQ(tables[0].second[0].count, 1u);
+
+  Prac prac(1024, costs);
+  prac.OnActivate(2, 9, 0);
+  prac.OnActivate(0, 4, 0);
+  prac.OnActivate(0, 4, 0);
+  const auto counters = prac.SortedCounters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, (std::uint64_t{0} << 32) | 4u);
+  EXPECT_EQ(counters[0].second, 2u);
+  EXPECT_EQ(counters[1].first, (std::uint64_t{2} << 32) | 9u);
+
+  Mint mint(1024, costs, 1);
+  mint.OnActivate(5, 1, 0);
+  mint.OnActivate(2, 1, 0);
+  mint.OnActivate(2, 2, 0);
+  const auto banks = mint.SortedBankCounters();
+  ASSERT_EQ(banks.size(), 2u);
+  EXPECT_EQ(banks[0].first, 2u);
+  EXPECT_EQ(banks[0].second, 2u);
+  EXPECT_EQ(banks[1].first, 5u);
+  EXPECT_EQ(banks[1].second, 1u);
+}
+
 TEST(MitigationTest, Names) {
   EXPECT_EQ(ToString(MitigationKind::kGraphene), "Graphene");
   EXPECT_EQ(ToString(MitigationKind::kPrac), "PRAC");

@@ -1,0 +1,24 @@
+// vrdlint fixture: banned-api positives plus allowlisted negatives.
+// NOT compiled; scanned by vrdlint_test. Expected diagnostics are
+// pinned by line number there — keep edits append-only.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double Telemetry() {
+  const auto ok =
+      std::chrono::steady_clock::now();  // vrdlint: allow(wall-clock)
+  // vrdlint: allow(wall-clock)
+  const auto also_ok = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double>(ok - also_ok).count();
+}
+
+int Bad() {
+  std::random_device entropy;
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  const int draw = std::rand();
+  const auto stamp = std::chrono::system_clock::now();
+  return draw + static_cast<int>(entropy()) +
+         static_cast<int>(stamp.time_since_epoch().count());
+}

@@ -1,0 +1,7 @@
+// vrdlint fixture: header-hygiene positives — no include guard, and a
+// file-scope using-directive. NOT compiled.
+#include <string>
+
+using namespace std;
+
+inline string Name() { return "bad"; }

@@ -1,0 +1,10 @@
+// vrdlint fixture: header-hygiene negative — guarded, no
+// using-directives. Must lint clean. NOT compiled.
+#ifndef VRDDRAM_TESTS_VRDLINT_FIXTURES_HEADER_OK_H
+#define VRDDRAM_TESTS_VRDLINT_FIXTURES_HEADER_OK_H
+
+#include <string>
+
+inline std::string Name() { return "ok"; }
+
+#endif  // VRDDRAM_TESTS_VRDLINT_FIXTURES_HEADER_OK_H

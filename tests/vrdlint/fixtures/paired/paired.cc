@@ -1,0 +1,12 @@
+// vrdlint fixture: .cc half of the paired-header case — range-for
+// over a member whose unordered declaration lives in paired.h, which
+// only the tree-level scan can see. NOT compiled.
+#include "paired.h"
+
+std::uint64_t Tracker::Total() const {
+  std::uint64_t total = 0;
+  for (const auto& [row, count] : counters_) {
+    total += count;
+  }
+  return total;
+}

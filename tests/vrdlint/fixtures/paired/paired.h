@@ -1,0 +1,18 @@
+// vrdlint fixture: header half of the paired-header case — the
+// unordered member is declared here, iterated in paired.cc. NOT
+// compiled.
+#ifndef VRDDRAM_TESTS_VRDLINT_FIXTURES_PAIRED_PAIRED_H
+#define VRDDRAM_TESTS_VRDLINT_FIXTURES_PAIRED_PAIRED_H
+
+#include <cstdint>
+#include <unordered_map>
+
+class Tracker {
+ public:
+  std::uint64_t Total() const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> counters_;
+};
+
+#endif  // VRDDRAM_TESTS_VRDLINT_FIXTURES_PAIRED_PAIRED_H

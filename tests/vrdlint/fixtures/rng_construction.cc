@@ -1,0 +1,34 @@
+// vrdlint fixture: rng-discipline construction and member-initializer
+// cases. NOT compiled; scanned by vrdlint_test.
+#include "common/rng.h"
+
+using vrddram::Rng;
+
+Rng FromLiteral() { return Rng(0x5eed1234ull); }
+
+Rng FromSeed(std::uint64_t campaign_seed) { return Rng(campaign_seed); }
+
+Rng FromDerivation(std::uint64_t base, int row) {
+  return Rng(vrddram::MixSeed(base, static_cast<std::uint64_t>(row)));
+}
+
+Rng Bad(int row, int bank) {
+  Rng stream(row * 631 + bank);
+  return stream;
+}
+
+Rng Annotated(int row) {
+  // Derivation audited by hand against EXPERIMENTS.md:
+  // vrdlint: allow(rng-discipline)
+  Rng stream(row + 17);
+  return stream;
+}
+
+class Sampler {
+ public:
+  explicit Sampler(std::uint64_t seed) : rng_(seed) {}
+  Sampler(int a, int b) : rng_(a * 100 + b) {}
+
+ private:
+  Rng rng_;
+};

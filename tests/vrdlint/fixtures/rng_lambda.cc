@@ -1,0 +1,14 @@
+// vrdlint fixture: rng-discipline dispatch-lambda positive. The
+// captured stream is shared across workers with no Fork in scope, so
+// scheduling order would leak into the numbers. NOT compiled.
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+void Bad(vrddram::ThreadPool& pool, vrddram::Rng& rng,
+         std::vector<double>* out) {
+  pool.ParallelFor(out->size(), [&](std::size_t i) {
+    (*out)[i] = rng.NextDouble();
+  });
+}

@@ -1,0 +1,20 @@
+// vrdlint fixture: rng-discipline dispatch-lambda negative — streams
+// are pre-forked in canonical order before dispatch, the DESIGN.md §6
+// pattern. Must lint clean. NOT compiled.
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+void Good(vrddram::ThreadPool& pool, vrddram::Rng& rng,
+          std::vector<double>* out) {
+  std::vector<vrddram::Rng> streams;
+  streams.reserve(out->size());
+  for (std::size_t i = 0; i < out->size(); ++i) {
+    streams.push_back(rng.Fork("fixture/chunk=" + std::to_string(i)));
+  }
+  pool.ParallelFor(out->size(), [&](std::size_t i) {
+    (*out)[i] = streams[i].NextDouble();
+  });
+}

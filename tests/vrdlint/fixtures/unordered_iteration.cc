@@ -1,0 +1,32 @@
+// vrdlint fixture: unordered-iteration positive, laundered, and
+// annotated cases. NOT compiled; scanned by vrdlint_test.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/sorted.h"
+
+int CountBad(const std::unordered_map<int, int>& histogram) {
+  int total = 0;
+  for (const auto& [key, value] : histogram) {
+    total += key + value;
+  }
+  return total;
+}
+
+int CountSorted(const std::unordered_map<int, int>& histogram) {
+  int total = 0;
+  for (const auto& [key, value] : vrddram::SortedByKey(histogram)) {
+    total += key + value;
+  }
+  return total;
+}
+
+int CountAnnotated(const std::unordered_set<int>& seen) {
+  int total = 0;
+  // Pure commutative accumulation, order cannot leak:
+  // vrdlint: allow(unordered-iteration)
+  for (const int key : seen) {
+    total += key;
+  }
+  return total;
+}

@@ -1,0 +1,209 @@
+/**
+ * vrdlint self-tests: each rule family is pinned against a fixture
+ * file with known violations (positive cases) and allowlisted or
+ * clean variants (negative cases). The fixtures live in
+ * tests/vrdlint/fixtures/ and are excluded from the `vrdlint_tree`
+ * gate via tools/vrdlint/vrdlint.conf.
+ */
+#include "vrdlint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using vrdlint::Config;
+using vrdlint::Diagnostic;
+
+std::filesystem::path FixtureDir() { return VRDLINT_FIXTURE_DIR; }
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixtureDir() / name);
+  EXPECT_TRUE(in) << "missing fixture: " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// "line: rule" for every diagnostic, in emission order — the shape
+/// the per-rule expectations below pin exactly.
+std::vector<std::string> Locations(const std::vector<Diagnostic>& found) {
+  std::vector<std::string> out;
+  out.reserve(found.size());
+  for (const Diagnostic& d : found) {
+    out.push_back(std::to_string(d.line) + ": " + d.rule);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> LintFixture(const std::string& name,
+                                    const Config& config = Config()) {
+  return vrdlint::LintSource(name, ReadFixture(name), config);
+}
+
+TEST(VrdlintBannedApi, FlagsEveryBannedCallAndHonorsWallClockAllow) {
+  const std::vector<Diagnostic> found = LintFixture("banned_api.cc");
+  // Lines 11 and 13 read clocks under allow(wall-clock) (trailing and
+  // standalone-comment forms) and must NOT appear here.
+  EXPECT_EQ(Locations(found),
+            (std::vector<std::string>{
+                "18: banned-api",  // std::random_device
+                "19: banned-api",  // srand
+                "19: banned-api",  // time
+                "20: banned-api",  // rand
+                "21: banned-api",  // system_clock::now
+            }));
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found[0].ToString(),
+            "banned_api.cc:18: banned-api: std::random_device is "
+            "nondeterministic; construct vrddram::Rng from a seed "
+            "expression");
+}
+
+TEST(VrdlintUnorderedIteration, FlagsRawRangeForOnly) {
+  const std::vector<Diagnostic> found =
+      LintFixture("unordered_iteration.cc");
+  // The SortedByKey() launder (line 18) and the annotated loop
+  // (line 28) are legal; only the raw range-for fires.
+  EXPECT_EQ(Locations(found),
+            (std::vector<std::string>{"10: unordered-iteration"}));
+}
+
+TEST(VrdlintRngDiscipline, FlagsNonSeedConstructionAndMemberInit) {
+  const std::vector<Diagnostic> found =
+      LintFixture("rng_construction.cc");
+  // Literal, *seed*-named, and MixSeed constructions pass; the
+  // annotated one (line 23) passes; the positional-arithmetic local
+  // (line 16) and member initializer (line 30) fire.
+  EXPECT_EQ(Locations(found),
+            (std::vector<std::string>{"16: rng-discipline",
+                                      "30: rng-discipline"}));
+}
+
+TEST(VrdlintRngDiscipline, FlagsSharedRngInDispatchLambda) {
+  const std::vector<Diagnostic> found = LintFixture("rng_lambda.cc");
+  EXPECT_EQ(Locations(found),
+            (std::vector<std::string>{"12: rng-discipline"}));
+  ASSERT_FALSE(found.empty());
+  EXPECT_NE(found[0].message.find("captured Rng 'rng'"),
+            std::string::npos);
+}
+
+TEST(VrdlintRngDiscipline, PreForkedStreamsLintClean) {
+  EXPECT_TRUE(LintFixture("rng_lambda_ok.cc").empty());
+}
+
+TEST(VrdlintHeaderHygiene, FlagsMissingGuardAndUsingNamespace) {
+  EXPECT_EQ(Locations(LintFixture("header_bad.h")),
+            (std::vector<std::string>{"1: header-hygiene",
+                                      "5: header-hygiene"}));
+  EXPECT_TRUE(LintFixture("header_ok.h").empty());
+}
+
+TEST(VrdlintTree, PairedHeaderRevealsUnorderedMembers) {
+  // paired.cc iterates a member whose unordered declaration lives in
+  // paired.h: invisible to the single-file scan, caught by the tree
+  // scan's header pairing.
+  Config config;
+  config.scan_dirs = {"paired"};
+  EXPECT_TRUE(
+      vrdlint::LintSource("paired/paired.cc",
+                          ReadFixture("paired/paired.cc"), config)
+          .empty());
+  const std::vector<Diagnostic> found =
+      vrdlint::LintTree(FixtureDir().string(), config);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].file, "paired/paired.cc");
+  EXPECT_EQ(found[0].line, 8u);
+  EXPECT_EQ(found[0].rule, "unordered-iteration");
+}
+
+TEST(VrdlintTree, ExcludeSkipsPaths) {
+  Config config;
+  config.scan_dirs = {"paired"};
+  config.exclude_paths = {"paired.cc"};
+  EXPECT_TRUE(vrdlint::LintTree(FixtureDir().string(), config).empty());
+  const std::vector<std::string> files =
+      vrdlint::CollectFiles(FixtureDir().string(), config);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], "paired/paired.h");
+}
+
+TEST(VrdlintConfig, AllowPathSuppressesRuleByPathFragment) {
+  Config config;
+  config.allow_paths["banned-api"] = {"banned_api"};
+  EXPECT_TRUE(LintFixture("banned_api.cc", config).empty());
+  // Other rules are unaffected by a banned-api allow-path.
+  EXPECT_FALSE(LintFixture("rng_lambda.cc", config).empty());
+}
+
+TEST(VrdlintConfig, ParsesSectionsKeysAndComments) {
+  Config config;
+  std::string error;
+  const std::string text =
+      "# comment\n"
+      "scan = src\n"
+      "scan = tools\n"
+      "exclude = fixtures\n"
+      "\n"
+      "[banned-api]\n"
+      "allow-path = bench/legacy\n"
+      "[rng-discipline]\n"
+      "seed-call = DeriveSeed\n"
+      "[unordered-iteration]\n"
+      "ordering-call = StableOrder\n";
+  ASSERT_TRUE(vrdlint::ParseConfigText(text, &config, &error)) << error;
+  EXPECT_EQ(config.scan_dirs,
+            (std::vector<std::string>{"src", "tools"}));
+  EXPECT_EQ(config.exclude_paths,
+            (std::vector<std::string>{"fixtures"}));
+  EXPECT_EQ(config.allow_paths.at("banned-api"),
+            (std::vector<std::string>{"bench/legacy"}));
+  // Additions extend the built-in defaults.
+  EXPECT_NE(std::find(config.seed_calls.begin(), config.seed_calls.end(),
+                      "DeriveSeed"),
+            config.seed_calls.end());
+  EXPECT_NE(std::find(config.seed_calls.begin(), config.seed_calls.end(),
+                      "MixSeed"),
+            config.seed_calls.end());
+  EXPECT_NE(std::find(config.ordering_calls.begin(),
+                      config.ordering_calls.end(), "StableOrder"),
+            config.ordering_calls.end());
+}
+
+TEST(VrdlintConfig, RejectsMalformedInput) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(vrdlint::ParseConfigText("bogus\n", &config, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(
+      vrdlint::ParseConfigText("mystery = value\n", &config, &error));
+  EXPECT_FALSE(vrdlint::ParseConfigText("[banned-api\n", &config, &error));
+  EXPECT_FALSE(vrdlint::ParseConfigText(
+      "[banned-api]\nseed-call = X\n", &config, &error));
+}
+
+TEST(VrdlintConfig, CustomSeedCallExtendsDiscipline) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(vrdlint::ParseConfigText(
+      "[rng-discipline]\nseed-call = DeriveStream\n", &config, &error))
+      << error;
+  const std::string source =
+      "void f() {\n"
+      "  Rng a(DeriveStream(device, row));\n"
+      "  Rng b(device + row);\n"
+      "}\n";
+  const std::vector<Diagnostic> found =
+      vrdlint::LintSource("custom.cc", source, config);
+  EXPECT_EQ(Locations(found),
+            (std::vector<std::string>{"3: rng-discipline"}));
+}
+
+}  // namespace

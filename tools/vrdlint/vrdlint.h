@@ -1,0 +1,121 @@
+/**
+ * @file
+ * vrdlint — the vrddram determinism-contract linter.
+ *
+ * A standalone token/line-level scanner (no libclang) that enforces
+ * the DESIGN.md §6 determinism rules as machine-checked invariants
+ * over src/, tests/, bench/, and examples/:
+ *
+ *  - banned-api            nondeterministic sources (std::random_device,
+ *                          rand/srand, time(), std::chrono::*_clock::now)
+ *                          outside annotated telemetry
+ *  - unordered-iteration   range-for over std::unordered_{map,set}
+ *                          unless laundered through SortedByKey()/
+ *                          SortedKeys() or annotated
+ *  - rng-discipline        Rng must be constructed from a seed
+ *                          expression; a captured Rng touched inside a
+ *                          ThreadPool::Submit/ParallelFor lambda needs
+ *                          a preceding Fork(...) in the enclosing scope
+ *  - header-hygiene        include guards / #pragma once present and
+ *                          no `using namespace` in headers
+ *
+ * Suppressions are written in the source, next to the code they
+ * excuse: `// vrdlint: allow(<rule-or-token>[, ...])` on the flagged
+ * line or on a comment line immediately above it. The `wall-clock`
+ * token allows the clock-read subset of banned-api without allowing
+ * the rest of the rule.
+ *
+ * Diagnostics print as `file:line: rule: message`, and the scan exits
+ * nonzero when anything fires — which is what lets ctest gate the
+ * tree (see the `vrdlint_tree` test).
+ */
+#ifndef VRDDRAM_TOOLS_VRDLINT_H
+#define VRDDRAM_TOOLS_VRDLINT_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vrdlint {
+
+/// One lint finding, addressed to a 1-based source line.
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+
+  /// "file:line: rule: message" — the stable output format.
+  std::string ToString() const;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/**
+ * Linter configuration, read from a plain-text file of
+ * `key = value` lines with `[rule]` sections and `#` comments:
+ *
+ *   scan = src
+ *   exclude = tests/vrdlint/fixtures
+ *   [banned-api]
+ *   allow-path = bench/legacy_timer
+ *   [rng-discipline]
+ *   seed-call = MixSeed
+ *   [unordered-iteration]
+ *   ordering-call = SortedByKey
+ *
+ * `exclude` and `allow-path` values match as substrings of the
+ * repo-relative path; `seed-call`/`ordering-call` values extend the
+ * built-in defaults rather than replacing them.
+ */
+struct Config {
+  /// Directories (relative to the lint root) walked by LintTree.
+  std::vector<std::string> scan_dirs = {"src", "tests", "bench",
+                                        "examples"};
+  /// Path substrings excluded from the walk (e.g. lint fixtures).
+  std::vector<std::string> exclude_paths;
+  /// Functions whose call makes an Rng constructor argument a valid
+  /// seed expression.
+  std::vector<std::string> seed_calls = {"MixSeed", "HashLabel",
+                                         "SplitMix64", "Fork"};
+  /// Functions that turn an unordered container into a deterministic
+  /// sequence, making range-for over the call result legal.
+  std::vector<std::string> ordering_calls = {"SortedByKey", "SortedKeys"};
+  /// rule name -> path substrings where the rule is suppressed.
+  std::map<std::string, std::vector<std::string>> allow_paths;
+  /// Internal: set once the first `scan =` line replaces the default
+  /// scan_dirs (subsequent lines append).
+  bool scan_dirs_overridden = false;
+};
+
+/// Parse config text into *config (on top of the defaults already in
+/// it). Returns false and sets *error on malformed input.
+bool ParseConfigText(std::string_view text, Config* config,
+                     std::string* error);
+
+/// LoadConfigFile = read file + ParseConfigText.
+bool LoadConfigFile(const std::string& path, Config* config,
+                    std::string* error);
+
+/// Lint one translation unit's text. `path` is the name used in
+/// diagnostics and for allow-path matching.
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   std::string_view text,
+                                   const Config& config);
+
+/// Enumerate the files LintTree would scan: every *.h/.hh/.hpp/.cc/
+/// .cpp/.cxx under config.scan_dirs, minus excludes, as sorted
+/// root-relative paths.
+std::vector<std::string> CollectFiles(const std::string& root,
+                                      const Config& config);
+
+/// Lint the tree rooted at `root`; diagnostics are sorted by
+/// (file, line, rule).
+std::vector<Diagnostic> LintTree(const std::string& root,
+                                 const Config& config);
+
+}  // namespace vrdlint
+
+#endif  // VRDDRAM_TOOLS_VRDLINT_H
