@@ -83,6 +83,46 @@ std::size_t ResolveThreads(const Flags& flags) {
   return static_cast<std::size_t>(flags.GetUint("threads", 0));
 }
 
+void ApplyResilienceFlags(const Flags& flags,
+                          core::CampaignConfig* config) {
+  config->checkpoint_path =
+      flags.GetString("checkpoint", config->checkpoint_path);
+  config->resume = flags.GetBool("resume", config->resume);
+  config->inject = flags.GetString("inject", config->inject);
+  config->max_attempts = static_cast<std::size_t>(
+      flags.GetUint("max_attempts", config->max_attempts));
+}
+
+void PrintShardSummary(const core::CampaignResult& result) {
+  if (result.shards.empty()) {
+    return;
+  }
+  std::size_t ok = 0;
+  std::size_t retried = 0;
+  std::size_t quarantined = 0;
+  for (const core::ShardStatus& status : result.shards) {
+    switch (status.state) {
+      case core::ShardState::kOk: ++ok; break;
+      case core::ShardState::kRetried: ++retried; break;
+      case core::ShardState::kQuarantined: ++quarantined; break;
+    }
+  }
+  std::cout << "shards: " << result.shards.size() << " total, " << ok
+            << " ok, " << retried << " retried, " << quarantined
+            << " quarantined\n";
+  for (const core::ShardStatus& status : result.shards) {
+    if (status.state == core::ShardState::kOk) {
+      continue;
+    }
+    std::cout << "shard " << status.device << " @ " << status.temperature
+              << " degC: " << core::FormatShardStatus(status);
+    if (!status.error.empty()) {
+      std::cout << " (" << status.error << ')';
+    }
+    std::cout << '\n';
+  }
+}
+
 bool CollectSingleRowSeries(const std::string& device_name,
                             std::size_t measurements,
                             std::uint64_t seed, SingleRowSeries* out) {

@@ -49,6 +49,20 @@ std::vector<std::string> ResolveDevices(const std::string& spec);
 /// path. Results are bit-identical for every value.
 std::size_t ResolveThreads(const Flags& flags);
 
+/**
+ * Apply the campaign resilience flags shared by every campaign bench:
+ * --checkpoint=FILE (persist completed shards), --resume (restore
+ * shards from the checkpoint instead of re-running them),
+ * --inject=SPEC (fault-injection plan, fi::FaultPlan grammar) and
+ * --max_attempts=N (attempts per shard before quarantine).
+ */
+void ApplyResilienceFlags(const Flags& flags,
+                          core::CampaignConfig* config);
+
+/// Print the per-shard execution summary (ok/retried/quarantined
+/// counts plus one line for each shard that did not run clean).
+void PrintShardSummary(const core::CampaignResult& result);
+
 /// One 100k-style single-row series: find a victim on the device per
 /// Alg. 1 and measure it `measurements` times.
 struct SingleRowSeries {

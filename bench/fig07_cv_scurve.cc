@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
   config.threads = ResolveThreads(flags);
+  ApplyResilienceFlags(flags, &config);
 
   const auto n_patterns = flags.GetUint("patterns", 4);
   const auto n_tons = flags.GetUint("tons", 3);
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
             << " measurements\n";
 
   const core::CampaignResult result = core::RunCampaign(config);
+  PrintShardSummary(result);
 
   const std::string csv_path = flags.GetString("csv", "");
   if (!csv_path.empty()) {

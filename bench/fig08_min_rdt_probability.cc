@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
   config.threads = ResolveThreads(flags);
+  ApplyResilienceFlags(flags, &config);
 
   core::MinRdtSettings settings;
   settings.iterations =
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
               "expected normalized minimum vs. N measurements");
 
   const core::CampaignResult result = core::RunCampaign(config);
+  PrintShardSummary(result);
   Rng rng(config.base_seed ^ 0xf18);
 
   // The Monte Carlo stage reuses the campaign's thread setting; the

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
   config.threads = ResolveThreads(flags);
+  ApplyResilienceFlags(flags, &config);
 
   core::MinRdtSettings settings;
   settings.iterations =
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
               "and die revision");
 
   const core::CampaignResult result = core::RunCampaign(config);
+  PrintShardSummary(result);
   Rng rng(config.base_seed ^ 0xf19);
 
   // Group rows by (manufacturer, density, die revision).

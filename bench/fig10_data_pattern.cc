@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
   config.threads = ResolveThreads(flags);
+  ApplyResilienceFlags(flags, &config);
   config.patterns.assign(std::begin(dram::kAllDataPatterns),
                          std::end(dram::kAllDataPatterns));
 
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
               "pattern and manufacturer");
 
   const core::CampaignResult result = core::RunCampaign(config);
+  PrintShardSummary(result);
   Rng rng(config.base_seed ^ 0xf1a);
 
   // group -> pattern -> per-N list of expected normalized minima.

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
   config.threads = ResolveThreads(flags);
+  ApplyResilienceFlags(flags, &config);
   config.t_ons = {core::TOnChoice::kMinTras, core::TOnChoice::kTrefi,
                   core::TOnChoice::kNineTrefi};
 
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
               "manufacturer");
 
   const core::CampaignResult result = core::RunCampaign(config);
+  PrintShardSummary(result);
   Rng rng(config.base_seed ^ 0xf1b);
 
   std::map<std::string,

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
   config.threads = ResolveThreads(flags);
+  ApplyResilienceFlags(flags, &config);
   config.patterns = {dram::DataPattern::kRowstripe1};
   config.t_ons = {core::TOnChoice::kMinTras};
   config.temperatures = {50.0, 65.0, 80.0};
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
               "temperature, Rowstripe1, tAggOn = min tRAS");
 
   const core::CampaignResult result = core::RunCampaign(config);
+  PrintShardSummary(result);
   Rng rng(config.base_seed ^ 0xf1c);
 
   std::map<std::string, std::map<int, std::vector<double>>> groups;

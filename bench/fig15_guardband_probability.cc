@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
   config.threads = ResolveThreads(flags);
+  ApplyResilienceFlags(flags, &config);
   // Two representative parameter combinations keep the run short; add
   // more with --patterns (the trend is unchanged).
   config.patterns = {dram::DataPattern::kCheckered0,
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
               "safety margin, vs. N measurements");
 
   const core::CampaignResult result = core::RunCampaign(config);
+  PrintShardSummary(result);
   Rng rng(config.base_seed ^ 0xf15);
 
   // per (N index, margin index): list across rows.

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   config.scan_rows_per_region =
       static_cast<std::size_t>(flags.GetUint("scan", 96));
   config.threads = ResolveThreads(flags);
+  ApplyResilienceFlags(flags, &config);
   config.t_ons = {core::TOnChoice::kMinTras, core::TOnChoice::kTrefi};
 
   core::MinRdtSettings settings;
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
   PrintBanner(std::cout, "Table 7: per-module VRD summary");
 
   const core::CampaignResult result = core::RunCampaign(config);
+  PrintShardSummary(result);
   Rng rng(config.base_seed ^ 0x707);
 
   struct ModuleAgg {

@@ -5,10 +5,14 @@
 #include <map>
 
 #include "common/error.h"
+#include "common/faultinject.h"
 
 namespace vrddram::bender {
 
 ExecutionResult ProgramRunner::Run(const TestProgram& program) {
+  if (fi::ShouldFire("bender.host.run")) {
+    throw TransientError("bender host: command execution failed (injected)");
+  }
   program.Validate(platform_);
   ExecutionResult result;
   const Tick start = device_->Now();

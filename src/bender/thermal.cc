@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/faultinject.h"
 
 namespace vrddram::bender {
 
@@ -37,6 +38,9 @@ bool TemperatureController::Settled() const {
 }
 
 void TemperatureController::Step(Tick dt) {
+  if (fi::ShouldFire("bender.thermal.sensor")) {
+    throw TransientError("thermal rig: PID sensor dropout (injected)");
+  }
   const double dt_s = units::ToSeconds(dt);
   const double sensed =
       plant_temp_ + rng_.NextGaussian(0.0, plant_params_.sensor_noise_c);
@@ -77,6 +81,9 @@ void TemperatureController::Run(Tick duration) {
 
 Tick TemperatureController::SettleTo(Celsius target, Tick hold,
                                      Tick timeout) {
+  if (fi::ShouldFire("bender.thermal.settle")) {
+    throw TransientError("thermal rig: settle timeout (injected)");
+  }
   SetTarget(target);
   Tick elapsed = 0;
   Tick in_band = 0;
@@ -92,7 +99,10 @@ Tick TemperatureController::SettleTo(Celsius target, Tick hold,
       in_band = 0;
     }
   }
-  throw FatalError("temperature rig failed to settle within the timeout");
+  // A settle timeout is a rig condition, not a caller mistake: a retry
+  // with a freshly built shard can clear it, so it is retryable.
+  throw TransientError(
+      "temperature rig failed to settle within the timeout");
 }
 
 }  // namespace vrddram::bender

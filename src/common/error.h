@@ -2,11 +2,20 @@
  * @file
  * Error-handling primitives shared across the vrddram libraries.
  *
- * Follows the gem5 fatal/panic convention:
+ * Follows the gem5 fatal/panic convention, extended with a transient
+ * class for rig-style failures:
+ *  - TransientError is thrown for conditions that a retry with fresh
+ *    state can reasonably clear (a command execution hiccup, a thermal
+ *    rig that failed to settle, a dropped sensor reading). It is the
+ *    ONLY retryable error class: resilient executors such as
+ *    core::RunCampaign re-attempt a shard that threw TransientError
+ *    and quarantine or propagate everything else.
  *  - FatalError is thrown for user-caused conditions (bad configuration,
- *    invalid arguments): the caller could have avoided it.
- *  - VRD_ASSERT guards internal invariants; a failure indicates a bug in
- *    this library, not in the caller's usage.
+ *    invalid arguments): the caller could have avoided it, and retrying
+ *    the same inputs cannot succeed.
+ *  - VRD_ASSERT guards internal invariants; a failure (PanicError)
+ *    indicates a bug in this library, not in the caller's usage, and
+ *    must never be swallowed by resilience machinery.
  */
 #ifndef VRDDRAM_COMMON_ERROR_H
 #define VRDDRAM_COMMON_ERROR_H
@@ -18,13 +27,23 @@
 
 namespace vrddram {
 
+/// Thrown when an operation failed in a way a retry with fresh state
+/// may clear (transient rig/hardware-style failure). Retryable.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// Thrown when a caller-visible precondition is violated (user error).
+/// Not retryable: the same inputs will fail the same way.
 class FatalError : public std::runtime_error {
  public:
   explicit FatalError(const std::string& what) : std::runtime_error(what) {}
 };
 
 /// Thrown when an internal invariant is violated (library bug).
+/// Never retryable and never quarantined.
 class PanicError : public std::logic_error {
  public:
   explicit PanicError(const std::string& what) : std::logic_error(what) {}

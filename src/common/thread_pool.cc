@@ -75,6 +75,7 @@ void ThreadPool::ParallelFor(
     pending_ = chunks.size();
     abort_.store(false, std::memory_order_relaxed);
     error_ = nullptr;
+    error_index_ = ~std::size_t{0};
   }
   // Distribute round-robin *before* publishing the unclaimed count so
   // a woken worker always finds the chunks it was promised.
@@ -126,19 +127,24 @@ bool ThreadPool::TryClaim(std::size_t index, Chunk* out) {
 
 void ThreadPool::RunChunk(const Chunk& chunk) {
   if (!abort_.load(std::memory_order_relaxed)) {
-    try {
-      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
-        if (abort_.load(std::memory_order_relaxed)) {
-          break;
-        }
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      if (abort_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      try {
         (*job_)(i);
+      } catch (...) {
+        // Keep the exception with the smallest task index, so the
+        // caller sees a deterministic winner when several tasks throw
+        // concurrently rather than whichever thread raced in first.
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (error_ == nullptr || i < error_index_) {
+          error_ = std::current_exception();
+          error_index_ = i;
+        }
+        abort_.store(true, std::memory_order_relaxed);
+        break;
       }
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      if (error_ == nullptr) {
-        error_ = std::current_exception();
-      }
-      abort_.store(true, std::memory_order_relaxed);
     }
   }
   std::lock_guard<std::mutex> lock(state_mutex_);

@@ -12,9 +12,12 @@
  *  2. Coarse tasks: campaign shards run for seconds, so per-worker
  *     deques guarded by plain mutexes are plenty; no lock-free
  *     machinery is warranted.
- *  3. Exceptions propagate: the first exception thrown by any task is
- *     rethrown from ParallelFor on the calling thread; remaining tasks
- *     are abandoned.
+ *  3. Exceptions propagate deterministically: when tasks throw, the
+ *     exception with the smallest index wins — not whichever thread
+ *     lost the race — and is rethrown from ParallelFor on the calling
+ *     thread; remaining tasks are abandoned (tasks that never started
+ *     do not get to compete, so the winner is the canonical-first
+ *     among the tasks that actually threw).
  */
 #ifndef VRDDRAM_COMMON_THREAD_POOL_H
 #define VRDDRAM_COMMON_THREAD_POOL_H
@@ -47,9 +50,9 @@ class ThreadPool {
    * Run fn(i) for every i in [0, n) across the workers and block until
    * all complete. Indices are split into contiguous chunks; each worker
    * drains its own deque LIFO and steals FIFO from the others when it
-   * runs dry. Rethrows the first task exception. A call from one of
-   * this pool's own worker threads runs inline (serially) instead of
-   * deadlocking on the single-job lock.
+   * runs dry. Rethrows the thrown task exception with the smallest
+   * index. A call from one of this pool's own worker threads runs
+   * inline (serially) instead of deadlocking on the single-job lock.
    */
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t)>& fn);
@@ -92,6 +95,9 @@ class ThreadPool {
   std::size_t pending_ = 0;
   std::atomic<bool> abort_{false};
   std::exception_ptr error_;
+  /// Task index that produced error_; the smallest index wins so the
+  /// rethrown exception is deterministic under concurrent failures.
+  std::size_t error_index_ = 0;
 };
 
 /**

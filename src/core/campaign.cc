@@ -10,10 +10,16 @@
 
 #include "bender/thermal.h"
 #include "common/error.h"
+#include "common/faultinject.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "core/campaign_checkpoint.h"
 
 namespace vrddram::core {
+
+// Out-of-range TOnChoice values arrive from user configuration (bench
+// flags, config files), so per the error.h contract they are fatal
+// user errors, not library panics.
 
 std::string ToString(TOnChoice choice) {
   switch (choice) {
@@ -21,7 +27,8 @@ std::string ToString(TOnChoice choice) {
     case TOnChoice::kTrefi: return "tREFI";
     case TOnChoice::kNineTrefi: return "9xtREFI";
   }
-  throw PanicError("unknown tAggOn choice");
+  throw FatalError("unknown tAggOn choice: " +
+                   std::to_string(static_cast<int>(choice)));
 }
 
 Tick ResolveTOn(TOnChoice choice, const dram::TimingParams& timing) {
@@ -30,7 +37,20 @@ Tick ResolveTOn(TOnChoice choice, const dram::TimingParams& timing) {
     case TOnChoice::kTrefi: return timing.tREFI;
     case TOnChoice::kNineTrefi: return 9 * timing.tREFI;
   }
-  throw PanicError("unknown tAggOn choice");
+  throw FatalError("unknown tAggOn choice: " +
+                   std::to_string(static_cast<int>(choice)));
+}
+
+std::string FormatShardStatus(const ShardStatus& status) {
+  switch (status.state) {
+    case ShardState::kOk:
+      return "ok";
+    case ShardState::kRetried:
+      return "retried-" + std::to_string(status.attempts - 1);
+    case ShardState::kQuarantined:
+      return "quarantined";
+  }
+  throw PanicError("unknown shard state");
 }
 
 std::vector<dram::RowAddr> SelectVulnerableRows(
@@ -183,6 +203,17 @@ CampaignResult RunCampaign(const CampaignConfig& config,
                            std::ostream* progress) {
   VRD_FATAL_IF(config.devices.empty(), "campaign needs devices");
   VRD_FATAL_IF(config.measurements == 0, "campaign needs measurements");
+  VRD_FATAL_IF(config.max_attempts == 0,
+               "campaign needs at least one attempt per shard");
+  VRD_FATAL_IF(config.resume && config.checkpoint_path.empty(),
+               "campaign resume requires a checkpoint path");
+
+  // Parsed once, shared read-only by every worker; each shard attempt
+  // opens its own FaultScope so fire schedules depend only on
+  // (seed, site, shard label, attempt), never on thread count.
+  const fi::FaultPlan plan =
+      fi::FaultPlan::Parse(config.inject, config.base_seed);
+  const std::uint64_t config_hash = HashCampaignConfig(config);
 
   struct Shard {
     const std::string* device = nullptr;
@@ -201,34 +232,164 @@ CampaignResult RunCampaign(const CampaignConfig& config,
   const Stopwatch wall_watch;
   std::mutex progress_mutex;
   std::vector<std::vector<SeriesRecord>> per_shard(shards.size());
+  std::vector<ShardStatus> statuses(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    statuses[i].device = *shards[i].device;
+    statuses[i].temperature = shards[i].temperature;
+  }
+  // Not vector<bool>: workers write distinct indices concurrently.
+  std::vector<char> restored(shards.size(), 0);
+  std::vector<char> completed(shards.size(), 0);
+
+  if (config.resume) {
+    CampaignCheckpoint checkpoint;
+    if (LoadCheckpoint(config.checkpoint_path, &checkpoint)) {
+      VRD_FATAL_IF(checkpoint.config_hash != config_hash,
+                   "checkpoint: config hash mismatch — the checkpoint "
+                   "was written by a campaign with a different "
+                   "configuration");
+      for (CampaignCheckpoint::ShardEntry& entry : checkpoint.shards) {
+        VRD_FATAL_IF(entry.index >= shards.size(),
+                     "checkpoint: shard index " +
+                         std::to_string(entry.index) + " out of range");
+        const Shard& shard = shards[entry.index];
+        VRD_FATAL_IF(entry.status.device != *shard.device ||
+                         entry.status.temperature != shard.temperature,
+                     "checkpoint: shard " + std::to_string(entry.index) +
+                         " key mismatch (expected " + *shard.device +
+                         ", got " + entry.status.device + ")");
+        per_shard[entry.index] = std::move(entry.records);
+        statuses[entry.index] = std::move(entry.status);
+        restored[entry.index] = 1;
+        completed[entry.index] = 1;
+      }
+    }
+  }
+
+  // Persist every completed non-quarantined shard. Serialized by the
+  // mutex; rewrites the whole snapshot (shard counts are small) via
+  // the atomic tmp+rename in SaveCheckpoint, so an interrupt at any
+  // instant leaves a loadable file.
+  std::mutex checkpoint_mutex;
+  auto persist_completed = [&]() {
+    CampaignCheckpoint checkpoint;
+    checkpoint.config_hash = config_hash;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (completed[i] == 0 ||
+          statuses[i].state == ShardState::kQuarantined) {
+        continue;
+      }
+      CampaignCheckpoint::ShardEntry entry;
+      entry.index = i;
+      entry.status = statuses[i];
+      entry.records = per_shard[i];
+      checkpoint.shards.push_back(std::move(entry));
+    }
+    SaveCheckpoint(config.checkpoint_path, checkpoint);
+  };
 
   auto run_one = [&](std::size_t index) {
     const Shard& shard = shards[index];
+    ShardStatus& status = statuses[index];
+    if (restored[index] != 0) {
+      if (progress != nullptr) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        *progress << "campaign: " << *shard.device << " @ "
+                  << shard.temperature
+                  << " degC: restored from checkpoint ("
+                  << per_shard[index].size() << " series)\n";
+      }
+      return;
+    }
     const Stopwatch shard_watch;
-    per_shard[index] = RunShard(config, *shard.device, shard.temperature);
+    std::ostringstream label;
+    label << "campaign/" << *shard.device << '@' << shard.temperature;
+    const std::string scope_label = label.str();
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      try {
+        fi::FaultScope scope(plan, scope_label, attempt);
+        if (fi::ShouldFire("core.campaign.shard")) {
+          throw TransientError("campaign shard " + scope_label +
+                               " failed (injected)");
+        }
+        per_shard[index] =
+            RunShard(config, *shard.device, shard.temperature);
+        status.attempts = attempt + 1;
+        status.state =
+            attempt == 0 ? ShardState::kOk : ShardState::kRetried;
+        break;
+      } catch (const TransientError& error) {
+        per_shard[index].clear();
+        status.error = error.what();
+        status.attempts = attempt + 1;
+        if (attempt + 1 < config.max_attempts) {
+          // Exponential backoff between attempts, in simulated ticks.
+          // Bookkeeping only: the next attempt rebuilds its device
+          // from scratch, and advancing any clock here would make a
+          // retried shard diverge from a never-failed one.
+          status.backoff_ticks += config.retry_backoff_base << attempt;
+          continue;
+        }
+        if (!config.quarantine) {
+          throw;
+        }
+        status.state = ShardState::kQuarantined;
+        break;
+      } catch (const FatalError& error) {
+        // A user-error shard cannot succeed on retry: quarantine it
+        // immediately (or propagate when quarantine is off).
+        per_shard[index].clear();
+        status.error = error.what();
+        status.attempts = attempt + 1;
+        if (!config.quarantine) {
+          throw;
+        }
+        status.state = ShardState::kQuarantined;
+        break;
+      }
+      // PanicError and unknown exceptions propagate: a library bug
+      // must never be quarantined away (error.h contract).
+    }
+    if (!config.checkpoint_path.empty()) {
+      const std::lock_guard<std::mutex> lock(checkpoint_mutex);
+      completed[index] = 1;
+      persist_completed();
+    } else {
+      completed[index] = 1;
+    }
     if (progress == nullptr) {
       return;
     }
     const double seconds = shard_watch.Seconds();
-    std::size_t rows = 0;
-    std::size_t measurements = 0;
-    {
-      std::set<dram::RowAddr> distinct;
-      for (const SeriesRecord& record : per_shard[index]) {
-        distinct.insert(record.row);
-        measurements += record.series.size();
-      }
-      rows = distinct.size();
-    }
-    const std::size_t series = per_shard[index].size();
     std::ostringstream line;
     line << "campaign: " << *shard.device << " @ " << shard.temperature
-         << " degC: " << rows << " rows, " << series << " series, "
-         << measurements << " measurements in " << seconds << " s";
-    if (seconds > 0.0) {
-      line << " (" << static_cast<double>(series) / seconds
-           << " series/s, " << static_cast<double>(measurements) / seconds
-           << " meas/s)";
+         << " degC: ";
+    if (status.state == ShardState::kQuarantined) {
+      line << "quarantined after " << status.attempts << " attempt(s): "
+           << status.error;
+    } else {
+      std::size_t rows = 0;
+      std::size_t measurements = 0;
+      {
+        std::set<dram::RowAddr> distinct;
+        for (const SeriesRecord& record : per_shard[index]) {
+          distinct.insert(record.row);
+          measurements += record.series.size();
+        }
+        rows = distinct.size();
+      }
+      const std::size_t series = per_shard[index].size();
+      line << rows << " rows, " << series << " series, " << measurements
+           << " measurements in " << seconds << " s";
+      if (seconds > 0.0) {
+        line << " (" << static_cast<double>(series) / seconds
+             << " series/s, "
+             << static_cast<double>(measurements) / seconds
+             << " meas/s)";
+      }
+      if (status.state == ShardState::kRetried) {
+        line << " [" << FormatShardStatus(status) << ']';
+      }
     }
     line << '\n';
     const std::lock_guard<std::mutex> lock(progress_mutex);
@@ -258,10 +419,22 @@ CampaignResult RunCampaign(const CampaignConfig& config,
       result.records.push_back(std::move(record));
     }
   }
+  std::size_t retried = 0;
+  std::size_t quarantined = 0;
+  std::size_t from_checkpoint = 0;
+  for (const ShardStatus& status : statuses) {
+    retried += status.state == ShardState::kRetried ? 1 : 0;
+    quarantined += status.state == ShardState::kQuarantined ? 1 : 0;
+    from_checkpoint += status.from_checkpoint ? 1 : 0;
+  }
+  result.shards = std::move(statuses);
   if (progress != nullptr) {
     const double seconds = wall_watch.Seconds();
-    *progress << "campaign: done: " << shards.size() << " shards, "
-              << total_series << " series, " << total_measurements
+    *progress << "campaign: done: " << shards.size() << " shards ("
+              << shards.size() - quarantined << " ok, " << retried
+              << " retried, " << quarantined << " quarantined, "
+              << from_checkpoint << " restored), " << total_series
+              << " series, " << total_measurements
               << " measurements in " << seconds << " s wall on "
               << workers << " thread(s)";
     if (seconds > 0.0) {

@@ -28,6 +28,38 @@ enum class TOnChoice : std::uint8_t {
 std::string ToString(TOnChoice choice);
 Tick ResolveTOn(TOnChoice choice, const dram::TimingParams& timing);
 
+/// Outcome of one (device, temperature) shard of a campaign.
+enum class ShardState : std::uint8_t {
+  kOk,           ///< succeeded on the first attempt
+  kRetried,      ///< succeeded after >= 1 transient failure
+  kQuarantined,  ///< gave up; the shard contributes no records
+};
+
+/**
+ * Per-shard execution report, surfaced in `CampaignResult::shards`
+ * (canonical device-major, temperature-minor order), in the CSV
+ * exports (`shard_status` column) and in the bench summaries.
+ */
+struct ShardStatus {
+  std::string device;
+  Celsius temperature = 50.0;
+  ShardState state = ShardState::kOk;
+  /// Attempts executed (1 = clean first run). Restored shards keep the
+  /// count recorded at checkpoint time.
+  std::uint64_t attempts = 1;
+  /// Simulated exponential-backoff delay accumulated across retries.
+  /// Pure bookkeeping: it never advances any device clock, so a
+  /// retried-then-successful shard stays bit-identical to a clean one.
+  Tick backoff_ticks = 0;
+  /// what() of the last failure for retried/quarantined shards.
+  std::string error;
+  /// True when the shard was restored from a checkpoint, not re-run.
+  bool from_checkpoint = false;
+};
+
+/// "ok", "retried-<n>" (n = retries, i.e. attempts - 1), "quarantined".
+std::string FormatShardStatus(const ShardStatus& status);
+
 struct CampaignConfig {
   std::vector<std::string> devices;       ///< catalog names
   std::size_t rows_per_device = 15;       ///< paper: 150
@@ -51,6 +83,35 @@ struct CampaignConfig {
    * from (device name, base_seed) and the merge order is canonical.
    */
   std::size_t threads = 0;
+
+  // --- Resilience (DESIGN.md "Failure semantics") -------------------
+
+  /// Attempts per shard before giving up; each attempt rebuilds the
+  /// shard's device from scratch, so a retry that succeeds produces
+  /// records bit-identical to a never-failed shard.
+  std::size_t max_attempts = 3;
+  /// Simulated backoff before retry k (doubles per retry); recorded in
+  /// `ShardStatus::backoff_ticks`, never applied to a device clock.
+  Tick retry_backoff_base = units::kSecond;
+  /// When true (default) a shard that exhausts its attempts — or fails
+  /// fatally — is quarantined and the campaign degrades gracefully to
+  /// the surviving shards. When false the error propagates out of
+  /// RunCampaign (the pre-resilience all-or-nothing behavior).
+  bool quarantine = true;
+  /// Fault-injection spec (fi::FaultPlan grammar), "" = no injection.
+  /// The plan is seeded from `base_seed`. Injection and resilience
+  /// knobs do not participate in the checkpoint config hash: they
+  /// change how shards execute, never what a completed shard records.
+  std::string inject;
+  /// When non-empty, completed (ok/retried) shards are checkpointed to
+  /// this path after each completion (atomic tmp + rename), so an
+  /// interrupted campaign can resume without re-measuring them.
+  std::string checkpoint_path;
+  /// With `resume`, shards present in the checkpoint are restored
+  /// verbatim instead of re-run; a missing checkpoint file runs the
+  /// full campaign. Quarantined shards are never checkpointed, so a
+  /// resume re-attempts them.
+  bool resume = false;
 };
 
 /// One collected measurement series and its full test-parameter key.
@@ -70,6 +131,9 @@ struct SeriesRecord {
 
 struct CampaignResult {
   std::vector<SeriesRecord> records;
+  /// One status per shard, canonical device-major/temperature-minor
+  /// order regardless of worker count or completion order.
+  std::vector<ShardStatus> shards;
 };
 
 /**

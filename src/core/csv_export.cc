@@ -1,27 +1,59 @@
 #include "core/csv_export.h"
 
 #include <ostream>
+#include <string>
 
+#include "common/error.h"
 #include "core/series_analysis.h"
 
 namespace vrddram::core {
 
+namespace {
+
+/// Status column for a record's shard. Results built by hand (tests,
+/// ad-hoc analyses) carry no statuses; their records were by
+/// construction not quarantined, so they export as "ok".
+std::string StatusFor(const CampaignResult& result,
+                      const SeriesRecord& record) {
+  for (const ShardStatus& status : result.shards) {
+    if (status.device == record.device &&
+        status.temperature == record.temperature) {
+      return FormatShardStatus(status);
+    }
+  }
+  return "ok";
+}
+
+/// A short write that slips through leaves a silently truncated
+/// export — or worse, a truncated checkpoint — so stream failure is a
+/// hard error, not a best-effort condition.
+void CheckStream(std::ostream& os, const char* what) {
+  os.flush();
+  VRD_FATAL_IF(!os, std::string("csv export: stream failed writing the ") +
+                        what + " (short write?)");
+}
+
+}  // namespace
+
 void WriteSeriesCsv(std::ostream& os, const CampaignResult& result) {
-  os << "device,row,pattern,t_on,temperature,measurement_index,rdt\n";
+  os << "device,row,pattern,t_on,temperature,measurement_index,rdt,"
+        "shard_status\n";
   for (const SeriesRecord& record : result.records) {
+    const std::string status = StatusFor(result, record);
     for (std::size_t i = 0; i < record.series.size(); ++i) {
       os << record.device << ',' << record.row << ','
          << dram::ToString(record.pattern) << ','
          << ToString(record.t_on) << ',' << record.temperature << ','
-         << i << ',' << record.series[i] << '\n';
+         << i << ',' << record.series[i] << ',' << status << '\n';
     }
   }
+  CheckStream(os, "series export");
 }
 
 void WriteSummaryCsv(std::ostream& os, const CampaignResult& result) {
   os << "device,mfr,density_gbit,die_rev,row,pattern,t_on,temperature,"
         "rdt_guess,measurements,valid,min,max,mean,cv,unique_values,"
-        "first_min_index,immediate_change_fraction\n";
+        "first_min_index,immediate_change_fraction,shard_status\n";
   for (const SeriesRecord& record : result.records) {
     const SeriesAnalysis a = AnalyzeSeries(record.series, 1);
     os << record.device << ',' << vrd::ToString(record.mfr) << ','
@@ -31,8 +63,10 @@ void WriteSummaryCsv(std::ostream& os, const CampaignResult& result) {
        << record.rdt_guess << ',' << a.measurements << ',' << a.valid
        << ',' << a.min_rdt << ',' << a.max_rdt << ',' << a.mean << ','
        << a.cv << ',' << a.unique_values << ',' << a.first_min_index
-       << ',' << a.immediate_change_fraction << '\n';
+       << ',' << a.immediate_change_fraction << ','
+       << StatusFor(result, record) << '\n';
   }
+  CheckStream(os, "summary export");
 }
 
 }  // namespace vrddram::core

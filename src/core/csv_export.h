@@ -16,8 +16,13 @@ namespace vrddram::core {
 
 /**
  * Long format, one line per measurement:
- * device,row,pattern,t_on,temperature,measurement_index,rdt
- * (rdt is -1 for measurements that observed no flip).
+ * device,row,pattern,t_on,temperature,measurement_index,rdt,shard_status
+ * (rdt is -1 for measurements that observed no flip; shard_status is
+ * the record's shard outcome — "ok", "retried-<n>" or "quarantined" —
+ * and "ok" for results without shard statuses).
+ *
+ * Both writers verify the stream after writing and raise FatalError on
+ * failure, so a short write cannot pass as a complete export.
  */
 void WriteSeriesCsv(std::ostream& os, const CampaignResult& result);
 
@@ -25,7 +30,7 @@ void WriteSeriesCsv(std::ostream& os, const CampaignResult& result);
  * Summary format, one line per series:
  * device,mfr,density_gbit,die_rev,row,pattern,t_on,temperature,
  * rdt_guess,measurements,valid,min,max,mean,cv,unique_values,
- * first_min_index,immediate_change_fraction
+ * first_min_index,immediate_change_fraction,shard_status
  */
 void WriteSummaryCsv(std::ostream& os, const CampaignResult& result);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/faultinject.h"
 
 namespace vrddram::core {
 
@@ -132,10 +133,15 @@ std::int64_t RdtProfiler::MeasureOnceAnalytic(const SeriesContext& ctx) {
 
 std::int64_t RdtProfiler::MeasureOnceWith(const SeriesContext& ctx,
                                           dram::RowAddr victim) {
-  if (config_.mode == SweepMode::kAnalytic) {
-    return MeasureOnceAnalytic(ctx);
+  const std::int64_t rdt = (config_.mode == SweepMode::kAnalytic)
+                               ? MeasureOnceAnalytic(ctx)
+                               : MeasureOnceSwept(victim, ctx);
+  if (fi::ShouldFire("core.profiler.noflip")) {
+    // A spuriously clean measurement: the sweep ran (device time has
+    // advanced as usual) but the readout missed the flip.
+    return kNoFlip;
   }
-  return MeasureOnceSwept(victim, ctx);
+  return rdt;
 }
 
 std::int64_t RdtProfiler::MeasureOnce(dram::RowAddr victim,

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/error.h"
+#include "common/faultinject.h"
 #include "common/sorted.h"
 #include "ecc/on_die.h"
 
@@ -315,6 +316,12 @@ std::vector<std::uint8_t> Device::ReadRow(BankId bank,
     // way out, which is exactly why §3.1 disables this engine during
     // characterization.
     ecc::OnDieSec::DecodeInPlace(out, store.parity);
+  }
+  if (fi::ShouldFire("dram.device.readout")) {
+    // A stuck-at-1 readout pin downstream of the on-die ECC engine:
+    // bit 0 of the first byte reads high regardless of the stored
+    // value. The store itself is untouched.
+    out[0] |= 0x01;
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace vrddram {
@@ -71,6 +72,29 @@ TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
   std::atomic<int> calls{0};
   pool.ParallelFor(8, [&](std::size_t) { calls.fetch_add(1); });
   EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPoolTest, SmallestIndexExceptionWinsDeterministically) {
+  // All four tasks rendezvous on a spin barrier before any of them
+  // throws (pool(4) with n = 4 gives one single-index chunk per
+  // worker, so all four genuinely run concurrently). Whatever the
+  // completion race, the rethrown exception must be task 0's — the
+  // smallest index — not whichever thread reported first.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> arrived{0};
+    try {
+      pool.ParallelFor(4, [&](std::size_t i) {
+        arrived.fetch_add(1);
+        while (arrived.load() < 4) {
+        }
+        throw std::runtime_error("task " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "task 0") << "round " << round;
+    }
+  }
 }
 
 TEST(ThreadPoolTest, NestedParallelForRunsInline) {

@@ -20,6 +20,31 @@ TEST(CampaignTest, TOnResolution) {
   EXPECT_EQ(ToString(TOnChoice::kNineTrefi), "9xtREFI");
 }
 
+TEST(CampaignTest, UnknownTOnChoiceIsAUserError) {
+  // An out-of-range enum typically arrives from a parsed flag or file,
+  // so it reports as FatalError (bad input) with the offending value,
+  // not PanicError (library bug).
+  const dram::TimingParams t = dram::MakeDdr4_3200();
+  const auto bogus = static_cast<TOnChoice>(250);
+  try {
+    ToString(bogus);
+    FAIL() << "expected FatalError";
+  } catch (const FatalError& error) {
+    EXPECT_NE(std::string(error.what()).find("250"), std::string::npos);
+  }
+  EXPECT_THROW(ResolveTOn(bogus, t), FatalError);
+}
+
+TEST(CampaignTest, FormatShardStatusCoversEveryState) {
+  ShardStatus status;
+  EXPECT_EQ(FormatShardStatus(status), "ok");
+  status.state = ShardState::kRetried;
+  status.attempts = 3;
+  EXPECT_EQ(FormatShardStatus(status), "retried-2");
+  status.state = ShardState::kQuarantined;
+  EXPECT_EQ(FormatShardStatus(status), "quarantined");
+}
+
 TEST(CampaignTest, RowSelectionPicksVulnerableRows) {
   auto device = vrd::BuildDevice("M1");
   auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());

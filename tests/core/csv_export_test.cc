@@ -3,11 +3,22 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <ostream>
 #include <sstream>
+#include <streambuf>
 #include <string>
+
+#include "common/error.h"
 
 namespace vrddram::core {
 namespace {
+
+/// A stream whose buffer refuses every byte — the "disk full" /
+/// closed-pipe case the writers must report instead of truncating.
+class FailingStreambuf : public std::streambuf {
+ protected:
+  int overflow(int) override { return traits_type::eof(); }
+};
 
 CampaignResult TinyResult() {
   CampaignResult result;
@@ -49,6 +60,40 @@ TEST(CsvExportTest, SummaryFormat) {
   EXPECT_NE(csv.find("M1,Mfr. M,16,F,42,Checkered0,min-tRAS,50,5000,10,9"),
             std::string::npos);
   EXPECT_NE(csv.find(",4900,5050,"), std::string::npos);
+}
+
+TEST(CsvExportTest, ShardStatusColumnReflectsRetries) {
+  CampaignResult result = TinyResult();
+  ShardStatus status;
+  status.device = "M1";
+  status.temperature = 50.0;
+  status.state = ShardState::kRetried;
+  status.attempts = 2;
+  result.shards.push_back(status);
+
+  std::ostringstream series_os;
+  WriteSeriesCsv(series_os, result);
+  const std::string series_csv = series_os.str();
+  EXPECT_NE(series_csv.find("shard_status"), std::string::npos);
+  EXPECT_NE(series_csv.find(",retried-1"), std::string::npos);
+
+  std::ostringstream summary_os;
+  WriteSummaryCsv(summary_os, result);
+  EXPECT_NE(summary_os.str().find(",retried-1"), std::string::npos);
+
+  // Without a matching shard entry the column defaults to ok.
+  result.shards.clear();
+  std::ostringstream plain_os;
+  WriteSeriesCsv(plain_os, result);
+  EXPECT_NE(plain_os.str().find(",ok"), std::string::npos);
+}
+
+TEST(CsvExportTest, StreamFailureIsFatalNotSilent) {
+  FailingStreambuf broken;
+  std::ostream series_os(&broken);
+  EXPECT_THROW(WriteSeriesCsv(series_os, TinyResult()), FatalError);
+  std::ostream summary_os(&broken);
+  EXPECT_THROW(WriteSummaryCsv(summary_os, TinyResult()), FatalError);
 }
 
 TEST(CsvExportTest, EmptyCampaignOnlyHeaders) {

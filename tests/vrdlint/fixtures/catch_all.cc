@@ -1,0 +1,62 @@
+// catch-all-swallow fixture: catch-all handlers that swallow the
+// exception fire; handlers that rethrow, capture, convert to a typed
+// vrddram error, catch a typed error, or are annotated stay clean.
+void Work();
+void Cleanup();
+
+void SwallowsEllipsis() {
+  try {
+    Work();
+  } catch (...) {
+    Cleanup();
+  }
+}
+
+void SwallowsStdException() {
+  try {
+    Work();
+  } catch (const std::exception& e) {
+    Cleanup();
+  }
+}
+
+void Rethrows() {
+  try {
+    Work();
+  } catch (...) {
+    Cleanup();
+    throw;
+  }
+}
+
+void ConvertsToTyped() {
+  try {
+    Work();
+  } catch (const std::exception& e) {
+    throw vrddram::FatalError("wrapped");
+  }
+}
+
+void CapturesPointer() {
+  try {
+    Work();
+  } catch (...) {
+    saved = std::current_exception();
+  }
+}
+
+void TypedHandlerIsNotCatchAll() {
+  try {
+    Work();
+  } catch (const vrddram::TransientError& e) {
+    Cleanup();
+  }
+}
+
+void Annotated() {
+  try {
+    Work();
+  } catch (...) {  // vrdlint: allow(catch-all)
+    Cleanup();
+  }
+}

@@ -99,6 +99,20 @@ TEST(VrdlintRngDiscipline, PreForkedStreamsLintClean) {
   EXPECT_TRUE(LintFixture("rng_lambda_ok.cc").empty());
 }
 
+TEST(VrdlintCatchAllSwallow, FlagsSwallowingHandlersOnly) {
+  const std::vector<Diagnostic> found = LintFixture("catch_all.cc");
+  // The rethrow (line 26), typed conversion (line 34),
+  // current_exception capture (line 42), typed handler (line 50) and
+  // annotated handler (line 57) are all legal; only the two handlers
+  // that silently swallow fire.
+  EXPECT_EQ(Locations(found),
+            (std::vector<std::string>{"10: catch-all-swallow",
+                                      "18: catch-all-swallow"}));
+  ASSERT_FALSE(found.empty());
+  EXPECT_NE(found[0].message.find("swallows the exception"),
+            std::string::npos);
+}
+
 TEST(VrdlintHeaderHygiene, FlagsMissingGuardAndUsingNamespace) {
   EXPECT_EQ(Locations(LintFixture("header_bad.h")),
             (std::vector<std::string>{"1: header-hygiene",

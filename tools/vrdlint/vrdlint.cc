@@ -887,6 +887,86 @@ void CheckRngInDispatchLambdas(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: catch-all-swallow
+// ---------------------------------------------------------------------------
+
+/// Body constructs that count as preserving the caught exception:
+/// rethrowing (any `throw`), capturing it (`std::current_exception`),
+/// or converting it into a typed vrddram error.
+constexpr std::string_view kPreservingWords[] = {
+    "throw",         "TransientError", "FatalError",
+    "PanicError",    "ThrowFatal",     "ThrowPanic",
+    "VRD_FATAL_IF",  "VRD_ASSERT",     "VRD_ASSERT_MSG",
+};
+
+bool BodyPreservesException(std::string_view body) {
+  for (const std::string_view word : kPreservingWords) {
+    if (ContainsWord(body, word)) {
+      return true;
+    }
+  }
+  return ContainsCall(body, "current_exception");
+}
+
+/// A handler is a swallow candidate when it catches everything:
+/// `catch (...)` or any `std::exception&` spelling.
+bool IsCatchAllParam(std::string_view params) {
+  const std::string trimmed = Trim(params);
+  if (trimmed.find("...") != std::string::npos) {
+    return true;
+  }
+  return ContainsWord(trimmed, "exception");
+}
+
+void CheckCatchAllSwallow(const std::string& path, const FileView& view,
+                          const Config& config,
+                          std::vector<Diagnostic>* diagnostics) {
+  if (RuleSuppressedForPath(config, "catch-all-swallow", path)) {
+    return;
+  }
+  const std::string_view flat = view.flat;
+  std::size_t pos = 0;
+  while ((pos = FindWord(flat, "catch", pos)) != std::string_view::npos) {
+    const std::size_t kw = pos;
+    pos += 5;
+    const std::size_t open = SkipSpace(flat, kw + 5);
+    if (open >= flat.size() || flat[open] != '(') {
+      continue;
+    }
+    const std::size_t close = MatchBracket(flat, open, '(', ')');
+    if (close == std::string_view::npos) {
+      continue;
+    }
+    if (!IsCatchAllParam(flat.substr(open + 1, close - open - 1))) {
+      continue;
+    }
+    const std::size_t body_open = SkipSpace(flat, close + 1);
+    if (body_open >= flat.size() || flat[body_open] != '{') {
+      continue;
+    }
+    const std::size_t body_close =
+        MatchBracket(flat, body_open, '{', '}');
+    if (body_close == std::string_view::npos) {
+      continue;
+    }
+    if (BodyPreservesException(
+            flat.substr(body_open + 1, body_close - body_open - 1))) {
+      continue;
+    }
+    const std::size_t line = view.LineOf(kw);
+    if (view.Allowed(line, {"catch-all-swallow", "catch-all"})) {
+      continue;
+    }
+    diagnostics->push_back(Diagnostic{
+        path, line, "catch-all-swallow",
+        "catch-all handler swallows the exception: rethrow, capture it "
+        "via std::current_exception, convert it to a typed vrddram "
+        "error (TransientError/FatalError/PanicError), or annotate "
+        "with // vrdlint: allow(catch-all)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: header-hygiene
 // ---------------------------------------------------------------------------
 
@@ -951,6 +1031,7 @@ std::vector<Diagnostic> LintSourceImpl(
     CheckRngMemberInit(path, view, config, &diagnostics);
   }
   CheckRngInDispatchLambdas(path, view, config, decls, &diagnostics);
+  CheckCatchAllSwallow(path, view, config, &diagnostics);
   CheckHeaderHygiene(path, view, config, &diagnostics);
   SortDiagnostics(&diagnostics);
   return diagnostics;

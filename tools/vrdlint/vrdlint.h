@@ -16,6 +16,13 @@
  *                          expression; a captured Rng touched inside a
  *                          ThreadPool::Submit/ParallelFor lambda needs
  *                          a preceding Fork(...) in the enclosing scope
+ *  - catch-all-swallow     `catch (...)` / `catch (std::exception&)`
+ *                          handlers must rethrow, capture the
+ *                          exception (std::current_exception), or
+ *                          convert it to a typed vrddram error
+ *                          (TransientError/FatalError/PanicError) —
+ *                          silently swallowing breaks the error.h
+ *                          retry/quarantine contract
  *  - header-hygiene        include guards / #pragma once present and
  *                          no `using namespace` in headers
  *
@@ -23,7 +30,8 @@
  * excuse: `// vrdlint: allow(<rule-or-token>[, ...])` on the flagged
  * line or on a comment line immediately above it. The `wall-clock`
  * token allows the clock-read subset of banned-api without allowing
- * the rest of the rule.
+ * the rest of the rule; the `catch-all` token is shorthand for
+ * catch-all-swallow.
  *
  * Diagnostics print as `file:line: rule: message`, and the scan exits
  * nonzero when anything fires — which is what lets ctest gate the
