@@ -1,5 +1,6 @@
 #include "common/bench_util.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -8,20 +9,55 @@
 
 namespace vrddram::bench {
 
+namespace {
+
+/// Split a "--key[=value]" token; a bare "--key" means "true".
+bool SplitFlagToken(const std::string& arg, std::string* key,
+                    std::string* value) {
+  if (arg.rfind("--", 0) != 0) {
+    return false;
+  }
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos) {
+    *key = arg.substr(2);
+    *value = "true";
+  } else {
+    *key = arg.substr(2, eq - 2);
+    *value = arg.substr(eq + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
+    std::string key;
+    std::string value;
+    if (!SplitFlagToken(arg, &key, &value)) {
       std::cerr << "unrecognized argument: " << arg
                 << " (flags are --key=value)\n";
       std::exit(2);
     }
-    const std::size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      values_[arg.substr(2)] = "true";
-    } else {
-      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-    }
+    values_[key] = value;
+  }
+}
+
+Flags::Flags(const std::vector<std::string>& args,
+             const std::vector<FlagSpec>& schema)
+    : schema_(schema) {
+  for (const std::string& arg : args) {
+    std::string key;
+    std::string value;
+    VRD_FATAL_IF(!SplitFlagToken(arg, &key, &value),
+                 "unrecognized argument: " + arg +
+                     " (flags are --key=value)\n" + Describe(schema_));
+    const bool known =
+        std::any_of(schema_.begin(), schema_.end(),
+                    [&](const FlagSpec& spec) { return spec.name == key; });
+    VRD_FATAL_IF(!known, "unknown flag --" + key + "\n" + Describe(schema_));
+    values_[key] = value;
   }
 }
 
@@ -55,6 +91,58 @@ bool Flags::GetBool(const std::string& key, bool default_value) const {
     return default_value;
   }
   return it->second == "true" || it->second == "1";
+}
+
+const FlagSpec& Flags::SpecFor(const std::string& key) const {
+  for (const FlagSpec& spec : schema_) {
+    if (spec.name == key) {
+      return spec;
+    }
+  }
+  VRD_FATAL_IF(true, "flag --" + key +
+                         " is not in this experiment's schema\n" +
+                         Describe(schema_));
+  std::abort();  // unreachable: VRD_FATAL_IF threw
+}
+
+std::uint64_t Flags::GetUint(const std::string& key) const {
+  return std::strtoull(
+      GetString(key, SpecFor(key).default_value).c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key) const {
+  return std::strtod(GetString(key, SpecFor(key).default_value).c_str(),
+                     nullptr);
+}
+
+std::string Flags::GetString(const std::string& key) const {
+  return GetString(key, SpecFor(key).default_value);
+}
+
+bool Flags::GetBool(const std::string& key) const {
+  const std::string value = GetString(key, SpecFor(key).default_value);
+  return value == "true" || value == "1";
+}
+
+std::string Flags::Describe() const { return Describe(schema_); }
+
+std::string Flags::Describe(const std::vector<FlagSpec>& schema) {
+  if (schema.empty()) {
+    return "";
+  }
+  std::size_t width = 0;
+  for (const FlagSpec& spec : schema) {
+    width = std::max(width,
+                     spec.name.size() + spec.default_value.size() + 3);
+  }
+  std::ostringstream os;
+  os << "flags:\n";
+  for (const FlagSpec& spec : schema) {
+    const std::string left = "--" + spec.name + "=" + spec.default_value;
+    os << "  " << left << std::string(width + 2 - left.size(), ' ')
+       << spec.help << '\n';
+  }
+  return os.str();
 }
 
 std::vector<std::string> ResolveDevices(const std::string& spec) {
@@ -93,7 +181,8 @@ void ApplyResilienceFlags(const Flags& flags,
       flags.GetUint("max_attempts", config->max_attempts));
 }
 
-void PrintShardSummary(const core::CampaignResult& result) {
+void PrintShardSummary(std::ostream& os,
+                       const core::CampaignResult& result) {
   if (result.shards.empty()) {
     return;
   }
@@ -107,20 +196,26 @@ void PrintShardSummary(const core::CampaignResult& result) {
       case core::ShardState::kQuarantined: ++quarantined; break;
     }
   }
-  std::cout << "shards: " << result.shards.size() << " total, " << ok
-            << " ok, " << retried << " retried, " << quarantined
-            << " quarantined\n";
+  os << "shards: " << result.shards.size() << " total, " << ok << " ok, "
+     << retried << " retried, " << quarantined << " quarantined\n";
   for (const core::ShardStatus& status : result.shards) {
     if (status.state == core::ShardState::kOk) {
       continue;
     }
-    std::cout << "shard " << status.device << " @ " << status.temperature
-              << " degC: " << core::FormatShardStatus(status);
+    os << "shard " << status.device << " @ " << status.temperature
+       << " degC: " << core::FormatShardStatus(status);
     if (!status.error.empty()) {
-      std::cout << " (" << status.error << ')';
+      os << " (" << status.error << ')';
     }
-    std::cout << '\n';
+    os << '\n';
   }
+}
+
+std::string ManufacturerGroupName(const core::SeriesRecord& record) {
+  if (record.standard == dram::Standard::kHbm2) {
+    return "Mfr. S HBM2";
+  }
+  return ToString(record.mfr);
 }
 
 bool CollectSingleRowSeries(const std::string& device_name,
@@ -154,20 +249,20 @@ void AddBoxRow(TextTable& table, const std::string& label,
                 Cell(box.max, precision), Cell(box.mean, precision)});
 }
 
-void PrintCheck(const std::string& name, const std::string& paper,
-                const std::string& measured) {
-  std::cout << "CHECK " << name << ": paper=" << paper
-            << " measured=" << measured << '\n';
+void PrintCheck(std::ostream& os, const std::string& name,
+                const std::string& paper, const std::string& measured) {
+  os << "CHECK " << name << ": paper=" << paper
+     << " measured=" << measured << '\n';
 }
 
-void PrintCheck(const std::string& name, double paper, double measured,
-                int precision) {
-  PrintCheck(name, Cell(paper, precision), Cell(measured, precision));
-}
-
-void PrintCheck(const std::string& name, const std::string& paper,
+void PrintCheck(std::ostream& os, const std::string& name, double paper,
                 double measured, int precision) {
-  PrintCheck(name, paper, Cell(measured, precision));
+  PrintCheck(os, name, Cell(paper, precision), Cell(measured, precision));
+}
+
+void PrintCheck(std::ostream& os, const std::string& name,
+                const std::string& paper, double measured, int precision) {
+  PrintCheck(os, name, paper, Cell(measured, precision));
 }
 
 stats::BoxStats Box(const std::vector<double>& xs) {

@@ -8,6 +8,7 @@
 #define VRDDRAM_BENCH_COMMON_BENCH_UTIL_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,13 +22,33 @@
 
 namespace vrddram::bench {
 
+/// One documented knob of an experiment: its flag name (without the
+/// leading "--"), the textual default, and a one-line description.
+struct FlagSpec {
+  std::string name;
+  std::string default_value;
+  std::string help;
+};
+
 /**
- * Tiny --key=value flag parser. Unknown flags abort with a usage
- * message; every bench documents its knobs through Describe().
+ * Tiny --key=value flag parser. Every experiment documents its knobs
+ * through a FlagSpec schema: construction against a schema rejects
+ * unknown flags with a FatalError whose message embeds Describe(), so
+ * an abort always prints the real schema. The schema-less (argc,
+ * argv) form is kept for ad-hoc tools and tests.
  */
 class Flags {
  public:
+  /// Schema-less: accepts any --key=value. Bad syntax exits(2).
   Flags(int argc, char** argv);
+
+  /**
+   * Schema-validating: `args` are raw "--key[=value]" tokens. A token
+   * without "--", or a key absent from `schema`, raises FatalError
+   * naming the offender and listing the schema via Describe().
+   */
+  Flags(const std::vector<std::string>& args,
+        const std::vector<FlagSpec>& schema);
 
   std::uint64_t GetUint(const std::string& key,
                         std::uint64_t default_value) const;
@@ -36,8 +57,24 @@ class Flags {
                         const std::string& default_value) const;
   bool GetBool(const std::string& key, bool default_value) const;
 
+  /// Schema-default getters: the fallback is the FlagSpec default.
+  /// Raise FatalError when no schema was given or `key` is not in it
+  /// — an undocumented knob is a bug in the experiment spec.
+  std::uint64_t GetUint(const std::string& key) const;
+  double GetDouble(const std::string& key) const;
+  std::string GetString(const std::string& key) const;
+  bool GetBool(const std::string& key) const;
+
+  /// Human-readable flag schema, one "--name=default  help" line per
+  /// spec. Empty string when constructed without a schema.
+  std::string Describe() const;
+  static std::string Describe(const std::vector<FlagSpec>& schema);
+
  private:
+  const FlagSpec& SpecFor(const std::string& key) const;
+
   std::map<std::string, std::string> values_;
+  std::vector<FlagSpec> schema_;
 };
 
 /// Resolve a --devices= flag value: "all", "ddr4", "hbm2", or a
@@ -61,7 +98,14 @@ void ApplyResilienceFlags(const Flags& flags,
 
 /// Print the per-shard execution summary (ok/retried/quarantined
 /// counts plus one line for each shard that did not run clean).
-void PrintShardSummary(const core::CampaignResult& result);
+void PrintShardSummary(std::ostream& os,
+                       const core::CampaignResult& result);
+
+/// Per-manufacturer grouping shared by the figure benches: DDR4
+/// records group under their manufacturer's display name, while the
+/// HBM2 chips (all from Mfr. S) get their own "Mfr. S HBM2" bucket so
+/// the two standards are never pooled.
+std::string ManufacturerGroupName(const core::SeriesRecord& record);
 
 /// One 100k-style single-row series: find a victim on the device per
 /// Alg. 1 and measure it `measurements` times.
@@ -85,12 +129,13 @@ void AddBoxRow(TextTable& table, const std::string& label,
 
 /// Paper-vs-measured check line, greppable for EXPERIMENTS.md:
 /// "CHECK <name>: paper=<paper> measured=<measured>".
-void PrintCheck(const std::string& name, const std::string& paper,
-                const std::string& measured);
-void PrintCheck(const std::string& name, double paper, double measured,
-                int precision = 3);
-void PrintCheck(const std::string& name, const std::string& paper,
+void PrintCheck(std::ostream& os, const std::string& name,
+                const std::string& paper, const std::string& measured);
+void PrintCheck(std::ostream& os, const std::string& name, double paper,
                 double measured, int precision = 3);
+void PrintCheck(std::ostream& os, const std::string& name,
+                const std::string& paper, double measured,
+                int precision = 3);
 
 /// Box stats over a vector<double>; convenience alias used by benches.
 stats::BoxStats Box(const std::vector<double>& xs);

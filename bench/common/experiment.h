@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Declarative experiment registry for the figure/table reproductions.
+ *
+ * Each figure or table of the paper is one `ExperimentSpec`: a name,
+ * a one-line description, the flag schema with defaults, an optional
+ * campaign builder, and an analysis function that renders the tables
+ * and CHECK lines. Specs live in `bench/experiments/*.cc` and
+ * self-register at static-initialization time; the `vrdrepro` driver
+ * (bench/common/driver.h) is the only main() over them.
+ *
+ * The split between `build_campaign` and `analyze` is what lets the
+ * driver share measurement work: it resolves the campaign through a
+ * `core::CampaignCache` keyed by the result-defining config hash, so
+ * experiments whose configs intend the same records (same devices,
+ * rows, patterns, temperatures, seed, ...) execute one campaign and
+ * fan their analyses out over the cached `CampaignResult`.
+ */
+#ifndef VRDDRAM_BENCH_COMMON_EXPERIMENT_H
+#define VRDDRAM_BENCH_COMMON_EXPERIMENT_H
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "core/campaign.h"
+
+namespace vrddram::bench {
+
+/// Destination for everything an experiment reports: the stream that
+/// replaces the old per-binary stdout, plus the parsed flags so
+/// analysis knobs (iteration counts, CSV paths, margins) stay
+/// reachable from Analyze.
+struct Report {
+  std::ostream& out;
+  const Flags& flags;
+};
+
+struct ExperimentSpec {
+  /// Registry key, e.g. "fig10_data_pattern" — the old standalone
+  /// binary name without the "bench_" prefix.
+  std::string name;
+
+  /// One-line summary shown by `vrdrepro list`.
+  std::string description;
+
+  /// Every knob the experiment accepts. Campaign experiments append
+  /// CampaignFlagSpecs() for the shared execution flags.
+  std::vector<FlagSpec> flags;
+
+  /// Tiny-parameter invocation used by `vrdrepro run --smoke` and the
+  /// ctest smoke entries ("--key=value" tokens).
+  std::vector<std::string> smoke_args;
+
+  /// Builds the campaign request from parsed flags. Experiments that
+  /// measure nothing (catalog tables, single-device sweeps) leave
+  /// this empty and receive an empty CampaignResult.
+  std::function<core::CampaignConfig(const Flags&)> build_campaign;
+
+  /// Renders the experiment's tables, figures, and CHECK lines from
+  /// the (possibly cached) campaign result.
+  std::function<void(const core::CampaignResult&, Report*)> analyze;
+};
+
+/**
+ * The process-wide experiment registry. Specs register through
+ * VRD_REGISTER_EXPERIMENT; lookups are by exact name and All() is
+ * sorted by name, so `vrdrepro run --all` order is deterministic.
+ */
+class ExperimentRegistry {
+ public:
+  static ExperimentRegistry& Instance();
+
+  /// Raises FatalError on a duplicate or empty name.
+  void Register(ExperimentSpec spec);
+
+  /// nullptr when no experiment has that name.
+  const ExperimentSpec* Find(const std::string& name) const;
+
+  /// All registered specs, sorted by name.
+  std::vector<const ExperimentSpec*> All() const;
+
+ private:
+  std::vector<ExperimentSpec> specs_;
+};
+
+/// Registers the spec returned by `factory` (an `ExperimentSpec (*)()`)
+/// at static-initialization time. Use at namespace scope in
+/// bench/experiments/*.cc.
+struct ExperimentRegistrar {
+  explicit ExperimentRegistrar(ExperimentSpec (*factory)());
+};
+
+#define VRD_REGISTER_EXPERIMENT(factory)             \
+  static const ::vrddram::bench::ExperimentRegistrar \
+      vrd_experiment_registrar_##factory {           \
+    (factory)                                        \
+  }
+
+/// The execution flags shared by every campaign experiment
+/// (--threads, --checkpoint, --resume, --inject, --max_attempts).
+/// Appended to a spec's own FlagSpecs; values are applied to the
+/// built config by ApplyCampaignExecutionFlags.
+std::vector<FlagSpec> CampaignFlagSpecs();
+
+/// Convenience: `specs` followed by CampaignFlagSpecs().
+std::vector<FlagSpec> WithCampaignFlags(std::vector<FlagSpec> specs);
+
+/// Apply --threads and the resilience flags to a built config.
+void ApplyCampaignExecutionFlags(const Flags& flags,
+                                 core::CampaignConfig* config);
+
+}  // namespace vrddram::bench
+
+#endif  // VRDDRAM_BENCH_COMMON_EXPERIMENT_H

@@ -11,18 +11,14 @@
  *  - no rare traps                (deep late minima disappear)
  *  - no heavy traps               (worst-case CV tail disappears)
  *  - deterministic (nothing)      (VRD disappears entirely)
- *
- * Flags: --measurements=20000 --seed=2025
  */
 #include <functional>
 #include <iostream>
 #include <optional>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
-
+namespace vrddram::bench {
 namespace {
 
 struct Variant {
@@ -30,13 +26,13 @@ struct Variant {
   std::function<void(vrd::FaultProfile&)> tweak;
 };
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+void AnalyzeAblationFaultModel(const core::CampaignResult&,
+                               Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
   const auto measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 20000));
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  const std::uint64_t seed = flags.GetUint("seed");
 
   const Variant variants[] = {
       {"full model", [](vrd::FaultProfile&) {}},
@@ -57,7 +53,7 @@ int main(int argc, char** argv) {
        }},
   };
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Fault-model ablation on an M1-like device (" +
                   std::to_string(measurements) + " measurements)");
   TextTable table({"variant", "unique", "cv", "max/min",
@@ -117,14 +113,32 @@ int main(int argc, char** argv) {
                   Cell(a.immediate_change_fraction, 2),
                   Cell(a.normal_fit.p_value, 3)});
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  std::cout << "\nReading guide:\n"
-            << "  noise   -> the near-normal histogram body (Fig. 4)\n"
-            << "  fast    -> extra discrete states / state churn\n"
-            << "  rare    -> deep minima appearing only after many\n"
-            << "             measurements (Fig. 1)\n"
-            << "  heavy   -> the worst-case CV tail (Fig. 7 P100)\n"
-            << "  deterministic -> a single repeated value: no VRD\n";
-  return 0;
+  out << "\nReading guide:\n"
+      << "  noise   -> the near-normal histogram body (Fig. 4)\n"
+      << "  fast    -> extra discrete states / state churn\n"
+      << "  rare    -> deep minima appearing only after many\n"
+      << "             measurements (Fig. 1)\n"
+      << "  heavy   -> the worst-case CV tail (Fig. 7 P100)\n"
+      << "  deterministic -> a single repeated value: no VRD\n";
 }
+
+ExperimentSpec AblationFaultModelSpec() {
+  ExperimentSpec spec;
+  spec.name = "ablation_fault_model";
+  spec.description =
+      "Ablation of the trap fault model's components";
+  spec.flags = {
+      {"measurements", "20000", "measurements per series"},
+      {"seed", "2025", "base RNG seed"},
+  };
+  spec.smoke_args = {"--measurements=2000"};
+  spec.analyze = AnalyzeAblationFaultModel;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(AblationFaultModelSpec);
+
+}  // namespace
+}  // namespace vrddram::bench

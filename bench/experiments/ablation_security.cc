@@ -13,30 +13,30 @@
  * during maintenance windows and tightens its threshold whenever a new
  * minimum state surfaces; compare breach rates and the performance
  * proxy (configured threshold level) against the static approach.
- *
- * Flags: --devices=H3,M1,S2 --rows=4 --episodes=2000 --seed=2025
  */
 #include <iostream>
+#include <map>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/campaign.h"
 #include "core/online_profiler.h"
 #include "core/security_eval.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const auto devices =
-      ResolveDevices(flags.GetString("devices", "H3,M1,S2"));
+void AnalyzeAblationSecurity(const core::CampaignResult&,
+                             Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const auto devices = ResolveDevices(flags.GetString("devices"));
   const auto rows_per_device =
-      static_cast<std::size_t>(flags.GetUint("rows", 4));
-  const auto episodes = flags.GetUint("episodes", 2000);
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("rows"));
+  const auto episodes = flags.GetUint("episodes");
+  const std::uint64_t seed = flags.GetUint("seed");
   const std::vector<double> margins = {0.0, 0.10, 0.25, 0.50};
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Part 1: breach rate of statically guardbanded "
               "thresholds (profile with 5 measurements, then " +
                   Cell(episodes) + " attack episodes)");
@@ -71,23 +71,23 @@ int main(int argc, char** argv) {
       }
     }
   }
-  static_table.Print(std::cout);
+  static_table.Print(out);
 
-  PrintBanner(std::cout, "Rows with at least one breach, per margin");
+  PrintBanner(out, "Rows with at least one breach, per margin");
   TextTable summary({"margin", "breached rows", "total rows"});
   for (const auto& [margin, counts] : by_margin) {
     summary.AddRow({Cell(margin * 100.0, 0) + "%",
                     Cell(static_cast<std::uint64_t>(counts.first)),
                     Cell(static_cast<std::uint64_t>(counts.second))});
   }
-  summary.Print(std::cout);
-  PrintCheck("security.margin0_rows_eventually_breach",
+  summary.Print(out);
+  PrintCheck(out, "security.margin0_rows_eventually_breach",
              "expected (Takeaway 1: few measurements miss minima)",
              Cell(static_cast<std::uint64_t>(by_margin[0.0].first)) +
                  " of " +
                  Cell(static_cast<std::uint64_t>(by_margin[0.0].second)));
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Part 2: online profiling with adaptive guardband");
   TextTable online_table({"device", "row", "windows", "discoveries",
                           "final threshold", "final guardband",
@@ -121,10 +121,31 @@ int main(int argc, char** argv) {
          Cell(*threshold), Cell(online.guardband(), 2),
          Cell(verdict.breached_episodes)});
   }
-  online_table.Print(std::cout);
-  std::cout << "\nOnline profiling keeps discovering lower RDT states"
-            << " over time and tightens the configured threshold"
-            << " accordingly - the remedy the paper's §6.5 calls"
-            << " for.\n";
-  return 0;
+  online_table.Print(out);
+  out << "\nOnline profiling keeps discovering lower RDT states"
+      << " over time and tightens the configured threshold"
+      << " accordingly - the remedy the paper's §6.5 calls"
+      << " for.\n";
 }
+
+ExperimentSpec AblationSecuritySpec() {
+  ExperimentSpec spec;
+  spec.name = "ablation_security";
+  spec.description =
+      "Security of static vs. online-profiled RDT guardbands";
+  spec.flags = {
+      {"devices", "H3,M1,S2",
+       "device set: all, ddr4, hbm2, or comma list"},
+      {"rows", "4", "victim rows per device"},
+      {"episodes", "2000", "attack episodes per (row, margin)"},
+      {"seed", "2025", "base RNG seed"},
+  };
+  spec.smoke_args = {"--devices=M1", "--rows=2", "--episodes=200"};
+  spec.analyze = AnalyzeAblationSecurity;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(AblationSecuritySpec);
+
+}  // namespace
+}  // namespace vrddram::bench

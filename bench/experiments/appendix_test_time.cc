@@ -9,12 +9,10 @@
  */
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/test_time_model.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
-
+namespace vrddram::bench {
 namespace {
 
 std::string HumanTime(double seconds) {
@@ -49,16 +47,14 @@ std::string HumanEnergy(double joules) {
   return buffer;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  (void)flags;
+void AnalyzeAppendixTestTime(const core::CampaignResult&,
+                             Report* report) {
+  std::ostream& out = report->out;
   const core::TestTimeModel model;
   const Tick t_ras = model.timing().tRAS;
   const Tick t_press = units::FromUs(7.8);
 
-  PrintBanner(std::cout, "Table 6: DDR5 timing parameters (ns)");
+  PrintBanner(out, "Table 6: DDR5 timing parameters (ns)");
   TextTable t6({"Timing Parameter", "Latency (ns)"});
   t6.AddRow({"tRRD_S", Cell(units::ToNs(model.timing().tRRD_S), 3)});
   t6.AddRow({"tCCD_S", Cell(units::ToNs(model.timing().tCCD_S), 3)});
@@ -70,14 +66,14 @@ int main(int argc, char** argv) {
   t6.AddRow({"tRAS", Cell(units::ToNs(model.timing().tRAS), 3)});
   t6.AddRow({"tRTP", Cell(units::ToNs(model.timing().tRTP), 3)});
   t6.AddRow({"tWR", Cell(units::ToNs(model.timing().tWR), 3)});
-  t6.Print(std::cout);
+  t6.Print(out);
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Table 4: commands for one RDT measurement, one bank");
-  model.CommandTable(/*hammers=*/1000, /*banks=*/1).Print(std::cout);
-  PrintBanner(std::cout,
+  model.CommandTable(/*hammers=*/1000, /*banks=*/1).Print(out);
+  PrintBanner(out,
               "Table 5: commands for one RDT measurement, 16 banks");
-  model.CommandTable(/*hammers=*/1000, /*banks=*/16).Print(std::cout);
+  model.CommandTable(/*hammers=*/1000, /*banks=*/16).Print(out);
 
   // Figs. 17 & 21: one measurement, varying hammers and banks.
   for (const auto& [label, t_on] :
@@ -85,8 +81,8 @@ int main(int argc, char** argv) {
                                      t_ras},
         std::pair<const char*, Tick>{"RowPress (tAggOn = 7.8 us)",
                                      t_press}}) {
-    PrintBanner(std::cout, std::string("Figs. 17/21: single RDT "
-                                       "measurement cost, ") + label);
+    PrintBanner(out, std::string("Figs. 17/21: single RDT "
+                                 "measurement cost, ") + label);
     TextTable table({"# hammers", "banks", "time", "energy"});
     for (const std::uint64_t hammers : {1000ull, 10000ull, 100000ull}) {
       for (const std::uint32_t banks : {1u, 2u, 4u, 8u, 16u, 32u}) {
@@ -96,11 +92,11 @@ int main(int argc, char** argv) {
                       HumanTime(cost.seconds), HumanEnergy(cost.energy)});
       }
     }
-    table.Print(std::cout);
+    table.Print(out);
   }
 
   // Figs. 18 & 22: one measurement of N rows in one bank.
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figs. 18/22: single measurement of many rows, one bank");
   TextTable rows_table(
       {"rows", "# hammers", "RowHammer time", "RowPress time"});
@@ -113,10 +109,10 @@ int main(int argc, char** argv) {
                model.CampaignCost(rows, 1, hammers, t_press).seconds)});
     }
   }
-  rows_table.Print(std::cout);
+  rows_table.Print(out);
 
   // Figs. 19/20 and 23/24: 1K and 100K measurements at hammer count 1K.
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figs. 19/20/23/24: campaign cost, hammer count = 1K");
   TextTable campaign({"measurements", "rows/bank", "banks", "mode",
                       "time", "energy"});
@@ -134,40 +130,55 @@ int main(int argc, char** argv) {
       }
     }
   }
-  campaign.Print(std::cout);
+  campaign.Print(out);
 
-  PrintBanner(std::cout, "Appendix A headline checks");
+  PrintBanner(out, "Appendix A headline checks");
   // The paper quotes a 256K-row bank (footnote in §1).
   const core::TestCost rh_100k =
       model.CampaignCost(1u << 18, 100000, 1000, t_ras, 32);
-  PrintCheck("appendixA.rowhammer_100k_full_chip_time", "61 days",
+  PrintCheck(out, "appendixA.rowhammer_100k_full_chip_time", "61 days",
              HumanTime(rh_100k.seconds));
-  PrintCheck("appendixA.rowhammer_100k_full_chip_energy", "13 MJ",
+  PrintCheck(out, "appendixA.rowhammer_100k_full_chip_energy", "13 MJ",
              HumanEnergy(rh_100k.energy));
   const core::TestCost rh_1k =
       model.CampaignCost(1u << 18, 1000, 1000, t_ras, 32);
-  PrintCheck("appendixA.rowhammer_1k_full_chip_time", "15 hours",
+  PrintCheck(out, "appendixA.rowhammer_1k_full_chip_time", "15 hours",
              HumanTime(rh_1k.seconds));
   const core::TestCost rp_1k =
       model.CampaignCost(1u << 18, 1000, 1000, t_press, 32);
-  PrintCheck("appendixA.rowpress_1k_full_chip_time", "48 days",
+  PrintCheck(out, "appendixA.rowpress_1k_full_chip_time", "48 days",
              HumanTime(rp_1k.seconds));
   const core::TestCost rp_100k =
       model.CampaignCost(1u << 18, 100000, 1000, t_press, 32);
-  PrintCheck("appendixA.rowpress_100k_full_chip_time", "13 years",
+  PrintCheck(out, "appendixA.rowpress_100k_full_chip_time", "13 years",
              HumanTime(rp_100k.seconds));
 
   // §1: 94,467 measurements of a single row with RDT ~1,000 take ~9.5s.
   const core::TestCost intro =
       model.CampaignCost(1, 94467, 1000, t_ras, 1);
-  PrintCheck("appendixA.94467_measurements_one_row", "9.5 s",
+  PrintCheck(out, "appendixA.94467_measurements_one_row", "9.5 s",
              HumanTime(intro.seconds));
   // §6.2: one measurement of every row of a 256K-row bank with hammer
   // count 8,000, 4 patterns, 3 temperatures: ~39 minutes.
   const core::TestCost profiling =
       model.CampaignCost(1u << 18, 1, 8000, t_ras, 1);
-  PrintCheck("appendixA.one_shot_bank_profile_4pat_3temp",
+  PrintCheck(out, "appendixA.one_shot_bank_profile_4pat_3temp",
              "39 minutes",
              HumanTime(profiling.seconds * 4 * 3));
-  return 0;
 }
+
+ExperimentSpec AppendixTestTimeSpec() {
+  ExperimentSpec spec;
+  spec.name = "appendix_test_time";
+  spec.description =
+      "Appendix A: RDT testing time and energy estimation";
+  spec.flags = {};
+  spec.smoke_args = {};
+  spec.analyze = AnalyzeAppendixTestTime;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(AppendixTestTimeSpec);
+
+}  // namespace
+}  // namespace vrddram::bench

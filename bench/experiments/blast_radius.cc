@@ -5,21 +5,21 @@
  * increasing hammer counts and report which physical distances flip.
  * Distance-1 victims flip at the RDT; distance-2 victims need
  * ~1/d2_coupling times more activations; farther rows never flip.
- *
- * Flags: --device=M1 --seed=2025
  */
 #include <iostream>
 
 #include "bender/attack_patterns.h"
-#include "common/bench_util.h"
+#include "common/error.h"
+#include "common/experiment.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const std::string device_name = flags.GetString("device", "M1");
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
+void AnalyzeBlastRadius(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const std::string device_name = flags.GetString("device");
+  const std::uint64_t seed = flags.GetUint("seed");
 
   auto device = vrd::BuildDevice(device_name, seed);
   auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());
@@ -47,14 +47,11 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  if (aggressor == 0) {
-    std::cerr << "no suitable aggressor found\n";
-    return 1;
-  }
+  VRD_FATAL_IF(aggressor == 0, "no suitable aggressor found");
 
-  PrintBanner(std::cout, "Blast radius of single-sided hammering on " +
-                             device_name + " (aggressor row " +
-                             Cell(aggressor) + ")");
+  PrintBanner(out, "Blast radius of single-sided hammering on " +
+                       device_name + " (aggressor row " +
+                       Cell(aggressor) + ")");
 
   const auto aggr_phys = device->mapper().ToPhysical(aggressor);
   const Tick t_ras = device->timing().tRAS;
@@ -105,11 +102,29 @@ int main(int argc, char** argv) {
     }
     table.AddRow(row);
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  std::cout << "\nThe blast radius: immediate neighbours flip first;"
-            << " distance-2 rows need orders of magnitude more"
-            << " activations (coupling ~" << Cell(1.0 / 0.02, 0)
-            << "x weaker); distance-3 rows are out of reach.\n";
-  return 0;
+  out << "\nThe blast radius: immediate neighbours flip first;"
+      << " distance-2 rows need orders of magnitude more"
+      << " activations (coupling ~" << Cell(1.0 / 0.02, 0)
+      << "x weaker); distance-3 rows are out of reach.\n";
 }
+
+ExperimentSpec BlastRadiusSpec() {
+  ExperimentSpec spec;
+  spec.name = "blast_radius";
+  spec.description =
+      "Blast radius of single-sided hammering by physical distance";
+  spec.flags = {
+      {"device", "M1", "device to hammer"},
+      {"seed", "2025", "base RNG seed"},
+  };
+  spec.smoke_args = {};
+  spec.analyze = AnalyzeBlastRadius;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(BlastRadiusSpec);
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -6,40 +6,36 @@
  * 1,000 measurements. Also reports when the series minimum first
  * appears - the paper observes it after as many as 94,467
  * measurements across all tested rows (Finding 1 / §1).
- *
- * Flags: --device=H1 --measurements=100000 --seed=2025 --scan=all
- *        (--scan runs every catalog device and reports the worst-case
- *         first-minimum index; --scan=none skips it)
  */
 #include <algorithm>
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "common/error.h"
+#include "common/experiment.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const std::string device = flags.GetString("device", "H1");
+void AnalyzeFig01(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const std::string device = flags.GetString("device");
   const auto measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 100000));
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
-  const std::string scan = flags.GetString("scan", "all");
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  const std::uint64_t seed = flags.GetUint("seed");
+  const std::string scan = flags.GetString("scan");
 
-  PrintBanner(std::cout, "Figure 1: RDT of one row over " +
-                             std::to_string(measurements) +
-                             " repeated measurements (" + device + ")");
+  PrintBanner(out, "Figure 1: RDT of one row over " +
+                       std::to_string(measurements) +
+                       " repeated measurements (" + device + ")");
 
   SingleRowSeries data;
-  if (!CollectSingleRowSeries(device, measurements, seed, &data)) {
-    std::cerr << "no victim row found on " << device << '\n';
-    return 1;
-  }
+  VRD_FATAL_IF(!CollectSingleRowSeries(device, measurements, seed, &data),
+               "no victim row found on " + device);
   const core::SeriesAnalysis analysis = core::AnalyzeSeries(data.series);
 
-  std::cout << "victim row " << data.row << ", RDT_guess "
-            << data.rdt_guess << "\n\n";
+  out << "victim row " << data.row << ", RDT_guess " << data.rdt_guess
+      << "\n\n";
 
   // Left panel: one row per 1,000-measurement chunk.
   TextTable chunks({"measurements", "mean RDT", "min RDT", "max RDT"});
@@ -67,10 +63,10 @@ int main(int argc, char** argv) {
                    Cell(sum / static_cast<double>(n), 1), Cell(mn),
                    Cell(mx)});
   }
-  chunks.Print(std::cout);
+  chunks.Print(out);
 
   // Right panel: zoom on the last 1,000 measurements.
-  PrintBanner(std::cout, "Zoom: last 1,000 measurements");
+  PrintBanner(out, "Zoom: last 1,000 measurements");
   const std::size_t tail_base =
       data.series.size() > chunk ? data.series.size() - chunk : 0;
   std::vector<std::int64_t> tail(data.series.begin() +
@@ -82,22 +78,20 @@ int main(int argc, char** argv) {
   zoom.AddRow({"max", Cell(tail_analysis.max_rdt)});
   zoom.AddRow({"mean", Cell(tail_analysis.mean, 1)});
   zoom.AddRow({"unique values", Cell(tail_analysis.unique_values)});
-  zoom.Print(std::cout);
+  zoom.Print(out);
 
-  PrintBanner(std::cout, "Finding 1 summary");
-  std::cout << "series min " << analysis.min_rdt << ", max "
-            << analysis.max_rdt << " (max/min "
-            << Cell(analysis.max_over_min, 3) << ")\n";
-  std::cout << "minimum first appears at measurement #"
-            << analysis.first_min_index << " (multiplicity "
-            << analysis.min_multiplicity << ")\n";
-  PrintCheck("fig01.min_appears_after_many_measurements",
+  PrintBanner(out, "Finding 1 summary");
+  out << "series min " << analysis.min_rdt << ", max " << analysis.max_rdt
+      << " (max/min " << Cell(analysis.max_over_min, 3) << ")\n";
+  out << "minimum first appears at measurement #"
+      << analysis.first_min_index << " (multiplicity "
+      << analysis.min_multiplicity << ")\n";
+  PrintCheck(out, "fig01.min_appears_after_many_measurements",
              "16,926 (example row)",
              Cell(static_cast<std::uint64_t>(analysis.first_min_index)));
 
   if (scan != "none") {
-    PrintBanner(std::cout,
-                "Worst-case first-minimum index across devices");
+    PrintBanner(out, "Worst-case first-minimum index across devices");
     TextTable table(
         {"device", "row", "first min at", "min RDT", "max/min"});
     std::size_t worst = 0;
@@ -105,8 +99,8 @@ int main(int argc, char** argv) {
         std::min<std::size_t>(measurements, 100000);
     for (const std::string& name : ResolveDevices(scan)) {
       SingleRowSeries scan_data;
-      if (!CollectSingleRowSeries(name, scan_measurements,
-                                  seed + 17, &scan_data)) {
+      if (!CollectSingleRowSeries(name, scan_measurements, seed + 17,
+                                  &scan_data)) {
         continue;
       }
       const auto a = core::AnalyzeSeries(scan_data.series);
@@ -115,9 +109,30 @@ int main(int argc, char** argv) {
                     Cell(a.min_rdt), Cell(a.max_over_min, 2)});
       worst = std::max(worst, a.first_min_index);
     }
-    table.Print(std::cout);
-    PrintCheck("fig01.worst_first_min_index", "94,467",
+    table.Print(out);
+    PrintCheck(out, "fig01.worst_first_min_index", "94,467",
                Cell(static_cast<std::uint64_t>(worst)));
   }
-  return 0;
 }
+
+ExperimentSpec Fig01Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig01_rdt_series";
+  spec.description =
+      "Figure 1: RDT of one row over 100k repeated measurements";
+  spec.flags = {
+      {"device", "H1", "device to measure the headline row on"},
+      {"measurements", "100000", "measurements of the victim row"},
+      {"seed", "2025", "base RNG seed"},
+      {"scan", "all",
+       "device set for the worst-case first-minimum scan (none skips)"},
+  };
+  spec.smoke_args = {"--measurements=2000", "--scan=none"};
+  spec.analyze = AnalyzeFig01;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig01Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

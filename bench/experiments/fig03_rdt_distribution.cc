@@ -2,24 +2,23 @@
  * @file
  * Figure 3: box-and-whiskers distribution of 100,000 RDT measurements
  * of one victim row in each tested module and chip.
- *
- * Flags: --devices=all --measurements=100000 --seed=2025
  */
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+void AnalyzeFig03(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
   const auto measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 100000));
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
-  const auto devices = ResolveDevices(flags.GetString("devices", "all"));
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  const std::uint64_t seed = flags.GetUint("seed");
+  const auto devices = ResolveDevices(flags.GetString("devices"));
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 3: RDT distribution of a single victim row per "
               "module/chip (" + std::to_string(measurements) +
                   " measurements)");
@@ -41,13 +40,32 @@ int main(int argc, char** argv) {
       worst_device = name;
     }
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintBanner(std::cout, "Finding 1 check");
+  PrintBanner(out, "Finding 1 check");
   // Paper: e.g. Chip0's largest measured RDT is 1.21x the smallest
   // across 100k measurements; every tested row varies.
-  PrintCheck("fig03.worst_max_over_min (" + worst_device + ")",
+  PrintCheck(out, "fig03.worst_max_over_min (" + worst_device + ")",
              "1.21 (Chip0 example; larger on other rows)", worst_ratio,
              3);
-  return 0;
 }
+
+ExperimentSpec Fig03Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig03_rdt_distribution";
+  spec.description =
+      "Figure 3: RDT distribution of one victim row per module/chip";
+  spec.flags = {
+      {"devices", "all", "device set: all, ddr4, hbm2, or comma list"},
+      {"measurements", "100000", "measurements per victim row"},
+      {"seed", "2025", "base RNG seed"},
+  };
+  spec.smoke_args = {"--measurements=2000", "--devices=M1,S2"};
+  spec.analyze = AnalyzeFig03;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig03Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -7,28 +7,26 @@
  * chi-square goodness-of-fit test against a fitted normal (Finding 4:
  * an RDT measurement likely samples a normally distributed random
  * variable).
- *
- * Flags: --devices=all --measurements=100000 --seed=2025 --bars=H1
- *        (--bars prints the full ASCII histogram of one device)
  */
 #include <algorithm>
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "stats/histogram.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+void AnalyzeFig04(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
   const auto measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 100000));
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
-  const auto devices = ResolveDevices(flags.GetString("devices", "all"));
-  const std::string bars_device = flags.GetString("bars", "M1");
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  const std::uint64_t seed = flags.GetUint("seed");
+  const auto devices = ResolveDevices(flags.GetString("devices"));
+  const std::string bars_device = flags.GetString("bars");
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 4: RDT histograms (bins = unique values) and "
               "chi-square normality per device");
 
@@ -60,7 +58,7 @@ int main(int argc, char** argv) {
     }
 
     if (name == bars_device) {
-      PrintBanner(std::cout, "Histogram of " + name);
+      PrintBanner(out, "Histogram of " + name);
       std::vector<double> values;
       for (const std::int64_t v : data.series) {
         if (v >= 0) {
@@ -74,21 +72,21 @@ int main(int argc, char** argv) {
         const auto width = static_cast<std::size_t>(
             60.0 * static_cast<double>(bin.count) /
             static_cast<double>(peak));
-        std::cout << Cell(bin.lo, 0) << "\t" << bin.count << "\t"
-                  << std::string(width, '#') << '\n';
+        out << Cell(bin.lo, 0) << "\t" << bin.count << "\t"
+            << std::string(width, '#') << '\n';
       }
-      std::cout << '\n';
+      out << '\n';
     }
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintBanner(std::cout, "Findings 2 and 4 checks");
-  PrintCheck("fig04.m1_unique_values", "21",
+  PrintBanner(out, "Findings 2 and 4 checks");
+  PrintCheck(out, "fig04.m1_unique_values", "21",
              Cell(static_cast<std::uint64_t>(m1_unique)));
-  PrintCheck("fig04.chip1_bimodal", "2 modes",
+  PrintCheck(out, "fig04.chip1_bimodal", "2 modes",
              Cell(static_cast<std::uint64_t>(chip1_modes)) + " modes");
-  PrintCheck("fig04.min_p_value_unimodal_chips", 0.18, min_p_unimodal,
-             3);
+  PrintCheck(out, "fig04.min_p_value_unimodal_chips", 0.18,
+             min_p_unimodal, 3);
   // Devices whose single tested row carries a strong rare deep-minimum
   // trap reject normality (the deep states form a left tail); the
   // majority are consistent with the paper's normal-fit observation.
@@ -98,9 +96,31 @@ int main(int argc, char** argv) {
       ++passing;
     }
   }
-  PrintCheck("fig04.unimodal_chips_consistent_with_normal",
+  PrintCheck(out, "fig04.unimodal_chips_consistent_with_normal",
              "all tested chips",
              Cell(static_cast<std::uint64_t>(passing)) + " of " +
                  Cell(static_cast<std::uint64_t>(unimodal_ps.size())));
-  return 0;
 }
+
+ExperimentSpec Fig04Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig04_rdt_histograms";
+  spec.description =
+      "Figure 4: per-device RDT histograms and chi-square normality";
+  spec.flags = {
+      {"devices", "all", "device set: all, ddr4, hbm2, or comma list"},
+      {"measurements", "100000", "measurements per victim row"},
+      {"seed", "2025", "base RNG seed"},
+      {"bars", "M1",
+       "device whose full ASCII histogram is printed (none skips)"},
+  };
+  spec.smoke_args = {"--measurements=4000", "--devices=M1,Chip1",
+                     "--bars=none"};
+  spec.analyze = AnalyzeFig04;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig04Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -5,25 +5,24 @@
  * aggregated across all tested rows. The paper reports that 79.0% of
  * state changes happen after every measurement and that runs of 14
  * equal values are seen only once.
- *
- * Flags: --devices=all --measurements=100000 --seed=2025
  */
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "stats/run_length.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+void AnalyzeFig05(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
   const auto measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 100000));
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
-  const auto devices = ResolveDevices(flags.GetString("devices", "all"));
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  const std::uint64_t seed = flags.GetUint("seed");
+  const auto devices = ResolveDevices(flags.GetString("devices"));
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 5: run lengths of equal consecutive RDT "
               "measurements, aggregated across rows");
 
@@ -47,12 +46,31 @@ int main(int argc, char** argv) {
     table.AddRow({Cell(static_cast<std::uint64_t>(length)),
                   Cell(count)});
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintBanner(std::cout, "Finding 3 checks");
-  PrintCheck("fig05.immediate_change_fraction", 0.790,
+  PrintBanner(out, "Finding 3 checks");
+  PrintCheck(out, "fig05.immediate_change_fraction", 0.790,
              aggregate.ImmediateChangeFraction(), 3);
-  PrintCheck("fig05.longest_run", "14 (observed once)",
+  PrintCheck(out, "fig05.longest_run", "14 (observed once)",
              Cell(static_cast<std::uint64_t>(aggregate.LongestRun())));
-  return 0;
 }
+
+ExperimentSpec Fig05Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig05_run_lengths";
+  spec.description =
+      "Figure 5: run lengths of equal consecutive RDT measurements";
+  spec.flags = {
+      {"devices", "all", "device set: all, ddr4, hbm2, or comma list"},
+      {"measurements", "100000", "measurements per victim row"},
+      {"seed", "2025", "base RNG seed"},
+  };
+  spec.smoke_args = {"--measurements=2000", "--devices=M1,S2"};
+  spec.analyze = AnalyzeFig05;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig05Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -3,35 +3,32 @@
  * Figure 6 / Finding 4: the autocorrelation function of a series of
  * RDT measurements (module M1) compared against the ACF of a series of
  * normally distributed random numbers: no repeating patterns.
- *
- * Flags: --device=M1 --measurements=100000 --lags=40 --seed=2025
  */
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "common/error.h"
+#include "common/experiment.h"
 #include "common/rng.h"
 #include "stats/autocorrelation.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const std::string device = flags.GetString("device", "M1");
+void AnalyzeFig06(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const std::string device = flags.GetString("device");
   const auto measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 100000));
-  const auto lags =
-      static_cast<std::size_t>(flags.GetUint("lags", 40));
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  const auto lags = static_cast<std::size_t>(flags.GetUint("lags"));
+  const std::uint64_t seed = flags.GetUint("seed");
 
-  PrintBanner(std::cout, "Figure 6: ACF of the RDT series of " + device +
-                             " vs. ACF of white noise");
+  PrintBanner(out, "Figure 6: ACF of the RDT series of " + device +
+                       " vs. ACF of white noise");
 
   SingleRowSeries data;
-  if (!CollectSingleRowSeries(device, measurements, seed, &data)) {
-    std::cerr << "no victim row found on " << device << '\n';
-    return 1;
-  }
+  VRD_FATAL_IF(!CollectSingleRowSeries(device, measurements, seed, &data),
+               "no victim row found on " + device);
   std::vector<double> values;
   for (const std::int64_t v : data.series) {
     if (v >= 0) {
@@ -58,15 +55,35 @@ int main(int argc, char** argv) {
                   Cell(rdt_acf[lag], 4), Cell(noise_acf[lag], 4),
                   "+-" + Cell(bound, 4)});
   }
-  table.Print(std::cout);
+  table.Print(out);
 
   const double rdt_sig =
       stats::FractionSignificantLags(rdt_acf, values.size());
   const double noise_sig =
       stats::FractionSignificantLags(noise_acf, noise.size());
-  PrintBanner(std::cout, "Finding 4 check");
-  PrintCheck("fig06.significant_lags_rdt_vs_noise",
+  PrintBanner(out, "Finding 4 check");
+  PrintCheck(out, "fig06.significant_lags_rdt_vs_noise",
              "comparable to white noise",
              Cell(rdt_sig, 3) + " vs " + Cell(noise_sig, 3));
-  return 0;
 }
+
+ExperimentSpec Fig06Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig06_autocorrelation";
+  spec.description =
+      "Figure 6: ACF of an RDT series vs. white noise";
+  spec.flags = {
+      {"device", "M1", "device to measure"},
+      {"measurements", "100000", "measurements of the victim row"},
+      {"lags", "40", "maximum ACF lag"},
+      {"seed", "2025", "base RNG seed"},
+  };
+  spec.smoke_args = {"--measurements=4000"};
+  spec.analyze = AnalyzeFig06;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig06Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -5,38 +5,33 @@
  * pattern, tAggOn, and temperature), plus the P50 and P100 example
  * rows and the fraction of rows exhibiting temporal variation under
  * all / at least one parameter combination.
- *
- * Flags: --devices=all --rows=9 --measurements=1000 --seed=2025
- *        --patterns=4 --tons=3 --temps=3 (combination counts)
  */
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/csv_export.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+core::CampaignConfig BuildFig07Campaign(const Flags& flags) {
   core::CampaignConfig config;
-  config.devices = ResolveDevices(flags.GetString("devices", "all"));
+  config.devices = ResolveDevices(flags.GetString("devices"));
   config.rows_per_device =
-      static_cast<std::size_t>(flags.GetUint("rows", 9));
+      static_cast<std::size_t>(flags.GetUint("rows"));
   config.measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
-  config.base_seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  config.base_seed = flags.GetUint("seed");
   config.scan_rows_per_region =
-      static_cast<std::size_t>(flags.GetUint("scan", 96));
-  config.threads = ResolveThreads(flags);
-  ApplyResilienceFlags(flags, &config);
+      static_cast<std::size_t>(flags.GetUint("scan"));
+  ApplyCampaignExecutionFlags(flags, &config);
 
-  const auto n_patterns = flags.GetUint("patterns", 4);
-  const auto n_tons = flags.GetUint("tons", 3);
-  const auto n_temps = flags.GetUint("temps", 3);
+  const auto n_patterns = flags.GetUint("patterns");
+  const auto n_tons = flags.GetUint("tons");
+  const auto n_temps = flags.GetUint("temps");
   config.patterns.assign(dram::kAllDataPatterns,
                          dram::kAllDataPatterns +
                              std::min<std::uint64_t>(n_patterns, 4));
@@ -48,24 +43,30 @@ int main(int argc, char** argv) {
   const Celsius all_temps[] = {50.0, 65.0, 80.0};
   config.temperatures.assign(
       all_temps, all_temps + std::min<std::uint64_t>(n_temps, 3));
+  return config;
+}
 
-  PrintBanner(std::cout,
+void AnalyzeFig07(const core::CampaignResult& result, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const core::CampaignConfig config = BuildFig07Campaign(flags);
+
+  PrintBanner(out,
               "Figure 7: temporal variation of RDT across DRAM rows");
-  std::cout << config.devices.size() << " devices x "
-            << config.rows_per_device << " rows x "
-            << config.patterns.size() * config.t_ons.size() *
-                   config.temperatures.size()
-            << " parameter combinations x " << config.measurements
-            << " measurements\n";
+  out << config.devices.size() << " devices x "
+      << config.rows_per_device << " rows x "
+      << config.patterns.size() * config.t_ons.size() *
+             config.temperatures.size()
+      << " parameter combinations x " << config.measurements
+      << " measurements\n";
 
-  const core::CampaignResult result = core::RunCampaign(config);
-  PrintShardSummary(result);
+  PrintShardSummary(out, result);
 
-  const std::string csv_path = flags.GetString("csv", "");
+  const std::string csv_path = flags.GetString("csv");
   if (!csv_path.empty()) {
     std::ofstream csv(csv_path);
     core::WriteSummaryCsv(csv, result);
-    std::cout << "wrote per-series summary CSV to " << csv_path << "\n";
+    out << "wrote per-series summary CSV to " << csv_path << "\n";
   }
 
   // Per (device, row): max CV across combinations, plus per-combo CVs
@@ -112,19 +113,46 @@ int main(int argc, char** argv) {
     scurve.AddRow({Cell(p, 0),
                    Cell(stats::Percentile(cvs, p), 4)});
   }
-  scurve.Print(std::cout);
+  scurve.Print(out);
 
-  PrintBanner(std::cout, "Findings 5 and 6 checks");
-  PrintCheck("fig07.p50_cv", 0.03, stats::Percentile(cvs, 50.0), 4);
-  PrintCheck("fig07.max_cv", 0.52, cvs.back(), 4);
-  PrintCheck("fig07.max_max_over_min", 3.5, max_ratio, 2);
+  PrintBanner(out, "Findings 5 and 6 checks");
+  PrintCheck(out, "fig07.p50_cv", 0.03, stats::Percentile(cvs, 50.0), 4);
+  PrintCheck(out, "fig07.max_cv", 0.52, cvs.back(), 4);
+  PrintCheck(out, "fig07.max_max_over_min", 3.5, max_ratio, 2);
   PrintCheck(
-      "fig07.rows_with_vrd_under_all_combos", "97.1%",
+      out, "fig07.rows_with_vrd_under_all_combos", "97.1%",
       Cell(100.0 * static_cast<double>(all_combo_count) /
                static_cast<double>(rows.size()), 1) + "%");
   PrintCheck(
-      "fig07.rows_with_vrd_under_some_combo", "100%",
+      out, "fig07.rows_with_vrd_under_some_combo", "100%",
       Cell(100.0 * static_cast<double>(any_combo_count) /
                static_cast<double>(rows.size()), 1) + "%");
-  return 0;
 }
+
+ExperimentSpec Fig07Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig07_cv_scurve";
+  spec.description =
+      "Figure 7: S-curve of RDT coefficient of variation across rows";
+  spec.flags = WithCampaignFlags({
+      {"devices", "all", "device set: all, ddr4, hbm2, or comma list"},
+      {"rows", "9", "victim rows per device"},
+      {"measurements", "1000", "measurements per series"},
+      {"seed", "2025", "base RNG seed"},
+      {"scan", "96", "rows scanned per region when selecting victims"},
+      {"patterns", "4", "number of data patterns (1-4)"},
+      {"tons", "3", "number of tAggOn levels (1-3)"},
+      {"temps", "3", "number of temperature levels (1-3)"},
+      {"csv", "", "write the per-series summary CSV to this path"},
+  });
+  spec.smoke_args = {"--devices=M1,S2", "--rows=3", "--measurements=120",
+                     "--patterns=2", "--tons=2", "--temps=2"};
+  spec.build_campaign = BuildFig07Campaign;
+  spec.analyze = AnalyzeFig07;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig07Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -7,45 +7,45 @@
  * Middle: distribution of the expected value of the minimum found,
  * normalized to the series minimum. Bottom: the (probability, expected
  * normalized minimum) scatter per row.
- *
- * Flags: --devices=all --rows=9 --measurements=1000 --iters=10000
- *        --seed=2025 --threads=0 (0 = hardware concurrency; results
- *        are identical for every thread count)
  */
 #include <algorithm>
 #include <iostream>
 #include <memory>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/min_rdt_mc.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+core::CampaignConfig BuildFig08Campaign(const Flags& flags) {
   core::CampaignConfig config;
-  config.devices = ResolveDevices(flags.GetString("devices", "all"));
+  config.devices = ResolveDevices(flags.GetString("devices"));
   config.rows_per_device =
-      static_cast<std::size_t>(flags.GetUint("rows", 9));
+      static_cast<std::size_t>(flags.GetUint("rows"));
   config.measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
-  config.base_seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  config.base_seed = flags.GetUint("seed");
   config.scan_rows_per_region =
-      static_cast<std::size_t>(flags.GetUint("scan", 96));
-  config.threads = ResolveThreads(flags);
-  ApplyResilienceFlags(flags, &config);
+      static_cast<std::size_t>(flags.GetUint("scan"));
+  ApplyCampaignExecutionFlags(flags, &config);
+  return config;
+}
+
+void AnalyzeFig08(const core::CampaignResult& result, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const core::CampaignConfig config = BuildFig08Campaign(flags);
 
   core::MinRdtSettings settings;
   settings.iterations =
-      static_cast<std::size_t>(flags.GetUint("iters", 10000));
+      static_cast<std::size_t>(flags.GetUint("iters"));
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 8: probability of finding the minimum RDT and "
               "expected normalized minimum vs. N measurements");
 
-  const core::CampaignResult result = core::RunCampaign(config);
-  PrintShardSummary(result);
+  PrintShardSummary(out, result);
   Rng rng(config.base_seed ^ 0xf18);
 
   // The Monte Carlo stage reuses the campaign's thread setting; the
@@ -68,16 +68,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  PrintBanner(std::cout, "Top: P(find min RDT) across rows");
+  PrintBanner(out, "Top: P(find min RDT) across rows");
   TextTable top({"N", "min", "Q1", "median", "Q3", "max", "mean"});
   for (std::size_t i = 0; i < settings.sample_sizes.size(); ++i) {
     AddBoxRow(top, Cell(static_cast<std::uint64_t>(
                        settings.sample_sizes[i])),
               Box(prob_by_n[i]), 4);
   }
-  top.Print(std::cout);
+  top.Print(out);
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Middle: expected normalized value of the minimum RDT");
   TextTable mid({"N", "min", "Q1", "median", "Q3", "max", "mean"});
   for (std::size_t i = 0; i < settings.sample_sizes.size(); ++i) {
@@ -85,9 +85,9 @@ int main(int argc, char** argv) {
                        settings.sample_sizes[i])),
               Box(norm_by_n[i]), 4);
   }
-  mid.Print(std::cout);
+  mid.Print(out);
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Bottom (Fig. 25): per-row scatter summary for N = 1");
   // Rows with low probability and high expected normalized minimum are
   // the worst VRD rows (top-left corner in the paper's plot).
@@ -107,25 +107,49 @@ int main(int argc, char** argv) {
     }
   }
   const auto total_rows = static_cast<double>(prob_by_n[0].size());
-  std::cout << "rows analyzed: " << prob_by_n[0].size() << "\n";
+  out << "rows analyzed: " << prob_by_n[0].size() << "\n";
 
-  PrintBanner(std::cout, "Findings 7-9 checks");
-  PrintCheck("fig08.p50_prob_find_min_n1", 0.002,
+  PrintBanner(out, "Findings 7-9 checks");
+  PrintCheck(out, "fig08.p50_prob_find_min_n1", 0.002,
              stats::Percentile(prob_by_n[0], 50.0), 4);
-  PrintCheck("fig08.p50_prob_find_min_n500", 0.753,
+  PrintCheck(out, "fig08.p50_prob_find_min_n500", 0.753,
              stats::Percentile(prob_by_n.back(), 50.0), 3);
-  PrintCheck("fig08.rows_with_prob_le_0.1pct_n1", "22.4%",
+  PrintCheck(out, "fig08.rows_with_prob_le_0.1pct_n1", "22.4%",
              Cell(100.0 * static_cast<double>(low_prob_rows) /
                       total_rows, 1) + "%");
-  PrintCheck("fig08.rows_with_prob_ge_99.9pct_n1", "5.4%",
+  PrintCheck(out, "fig08.rows_with_prob_ge_99.9pct_n1", "5.4%",
              Cell(100.0 * static_cast<double>(high_prob_rows) /
                       total_rows, 1) + "%");
-  PrintCheck("fig08.worst_norm_min_among_low_prob_rows", 1.9,
+  PrintCheck(out, "fig08.worst_norm_min_among_low_prob_rows", 1.9,
              worst_norm_low_prob, 2);
   if (low_prob_rows > 0) {
-    PrintCheck("fig08.mean_norm_min_among_low_prob_rows", 1.1,
+    PrintCheck(out, "fig08.mean_norm_min_among_low_prob_rows", 1.1,
                sum_norm_low_prob / static_cast<double>(low_prob_rows),
                2);
   }
-  return 0;
 }
+
+ExperimentSpec Fig08Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig08_min_rdt_probability";
+  spec.description =
+      "Figure 8: Monte Carlo probability of finding the minimum RDT";
+  spec.flags = WithCampaignFlags({
+      {"devices", "all", "device set: all, ddr4, hbm2, or comma list"},
+      {"rows", "9", "victim rows per device"},
+      {"measurements", "1000", "measurements per series"},
+      {"seed", "2025", "base RNG seed"},
+      {"scan", "96", "rows scanned per region when selecting victims"},
+      {"iters", "10000", "Monte Carlo iterations per (row, N)"},
+  });
+  spec.smoke_args = {"--devices=M1,S2", "--rows=3", "--measurements=150",
+                     "--iters=500"};
+  spec.build_campaign = BuildFig08Campaign;
+  spec.analyze = AnalyzeFig08;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig08Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

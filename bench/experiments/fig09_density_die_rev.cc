@@ -4,43 +4,45 @@
  * minimum RDT after N measurements, grouped per manufacturer and per
  * (die density, die revision) combination. The VRD profile worsens
  * with density and with more advanced technology nodes.
- *
- * Flags: --rows=9 --measurements=1000 --iters=4000 --seed=2025
  */
 #include <algorithm>
 #include <iostream>
 #include <map>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/min_rdt_mc.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+core::CampaignConfig BuildFig09Campaign(const Flags& flags) {
   core::CampaignConfig config;
   config.devices = vrd::Ddr4ModuleNames();
   config.rows_per_device =
-      static_cast<std::size_t>(flags.GetUint("rows", 9));
+      static_cast<std::size_t>(flags.GetUint("rows"));
   config.measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
-  config.base_seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  config.base_seed = flags.GetUint("seed");
   config.scan_rows_per_region =
-      static_cast<std::size_t>(flags.GetUint("scan", 96));
-  config.threads = ResolveThreads(flags);
-  ApplyResilienceFlags(flags, &config);
+      static_cast<std::size_t>(flags.GetUint("scan"));
+  ApplyCampaignExecutionFlags(flags, &config);
+  return config;
+}
+
+void AnalyzeFig09(const core::CampaignResult& result, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const core::CampaignConfig config = BuildFig09Campaign(flags);
 
   core::MinRdtSettings settings;
   settings.iterations =
-      static_cast<std::size_t>(flags.GetUint("iters", 4000));
+      static_cast<std::size_t>(flags.GetUint("iters"));
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 9: expected normalized min RDT by die density "
               "and die revision");
 
-  const core::CampaignResult result = core::RunCampaign(config);
-  PrintShardSummary(result);
+  PrintShardSummary(out, result);
   Rng rng(config.base_seed ^ 0xf19);
 
   // Group rows by (manufacturer, density, die revision).
@@ -83,20 +85,42 @@ int main(int argc, char** argv) {
       }
     }
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintBanner(std::cout, "Finding 11 check (Mfr. M trend)");
+  PrintBanner(out, "Finding 11 check (Mfr. M trend)");
   // Paper: Mfr. M worsens from 1.06x (least advanced, 16Gb-E) to
   // 1.08x (most advanced, 16Gb-F) for the median row at N = 1.
   const GroupKey least{vrd::Manufacturer::kMfrM, 16, 'E'};
   const GroupKey most{vrd::Manufacturer::kMfrM, 16, 'F'};
   if (median_n1.contains(least) && median_n1.contains(most)) {
-    PrintCheck("fig09.mfr_m_least_advanced_median_n1", 1.06,
+    PrintCheck(out, "fig09.mfr_m_least_advanced_median_n1", 1.06,
                median_n1[least], 3);
-    PrintCheck("fig09.mfr_m_most_advanced_median_n1", 1.08,
+    PrintCheck(out, "fig09.mfr_m_most_advanced_median_n1", 1.08,
                median_n1[most], 3);
-    PrintCheck("fig09.vrd_worsens_with_technology", "yes",
+    PrintCheck(out, "fig09.vrd_worsens_with_technology", "yes",
                median_n1[most] > median_n1[least] ? "yes" : "no");
   }
-  return 0;
 }
+
+ExperimentSpec Fig09Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig09_density_die_rev";
+  spec.description =
+      "Figure 9: expected normalized min RDT by density and die rev";
+  spec.flags = WithCampaignFlags({
+      {"rows", "9", "victim rows per device"},
+      {"measurements", "1000", "measurements per series"},
+      {"seed", "2025", "base RNG seed"},
+      {"scan", "96", "rows scanned per region when selecting victims"},
+      {"iters", "4000", "Monte Carlo iterations per (row, N)"},
+  });
+  spec.smoke_args = {"--rows=3", "--measurements=120", "--iters=500"};
+  spec.build_campaign = BuildFig09Campaign;
+  spec.analyze = AnalyzeFig09;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig09Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -4,55 +4,46 @@
  * minimum RDT after N measurements for the four Table 2 data patterns,
  * grouped per manufacturer (and the HBM2 chips). No single data
  * pattern causes the worst VRD profile across all chips.
- *
- * Flags: --rows=6 --measurements=1000 --iters=4000 --seed=2025
  */
 #include <iostream>
 #include <map>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/min_rdt_mc.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
-
+namespace vrddram::bench {
 namespace {
 
-std::string GroupName(const core::SeriesRecord& record) {
-  if (record.standard == dram::Standard::kHbm2) {
-    return "Mfr. S HBM2";
-  }
-  return ToString(record.mfr);
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+core::CampaignConfig BuildFig10Campaign(const Flags& flags) {
   core::CampaignConfig config;
-  config.devices = ResolveDevices(flags.GetString("devices", "all"));
+  config.devices = ResolveDevices(flags.GetString("devices"));
   config.rows_per_device =
-      static_cast<std::size_t>(flags.GetUint("rows", 6));
+      static_cast<std::size_t>(flags.GetUint("rows"));
   config.measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
-  config.base_seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  config.base_seed = flags.GetUint("seed");
   config.scan_rows_per_region =
-      static_cast<std::size_t>(flags.GetUint("scan", 96));
-  config.threads = ResolveThreads(flags);
-  ApplyResilienceFlags(flags, &config);
+      static_cast<std::size_t>(flags.GetUint("scan"));
+  ApplyCampaignExecutionFlags(flags, &config);
   config.patterns.assign(std::begin(dram::kAllDataPatterns),
                          std::end(dram::kAllDataPatterns));
+  return config;
+}
+
+void AnalyzeFig10(const core::CampaignResult& result, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const core::CampaignConfig config = BuildFig10Campaign(flags);
 
   core::MinRdtSettings settings;
   settings.iterations =
-      static_cast<std::size_t>(flags.GetUint("iters", 4000));
+      static_cast<std::size_t>(flags.GetUint("iters"));
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 10: expected normalized min RDT per data "
               "pattern and manufacturer");
 
-  const core::CampaignResult result = core::RunCampaign(config);
-  PrintShardSummary(result);
+  PrintShardSummary(out, result);
   Rng rng(config.base_seed ^ 0xf1a);
 
   // group -> pattern -> per-N list of expected normalized minima.
@@ -62,7 +53,8 @@ int main(int argc, char** argv) {
   for (const core::SeriesRecord& record : result.records) {
     const core::RowMinRdtResult mc =
         core::AnalyzeRowSeries(record.series, settings, rng);
-    auto& per_pattern = groups[GroupName(record)][record.pattern];
+    auto& per_pattern =
+        groups[ManufacturerGroupName(record)][record.pattern];
     if (per_pattern.empty()) {
       per_pattern.resize(settings.sample_sizes.size());
     }
@@ -94,16 +86,40 @@ int main(int argc, char** argv) {
       }
     }
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintBanner(std::cout, "Findings 12-13 checks");
+  PrintBanner(out, "Findings 12-13 checks");
   std::map<dram::DataPattern, int> worst_counts;
   for (const auto& [group, pattern] : worst_pattern) {
-    PrintCheck("fig10.worst_pattern." + group, "varies per mfr",
+    PrintCheck(out, "fig10.worst_pattern." + group, "varies per mfr",
                ToString(pattern));
     ++worst_counts[pattern];
   }
-  PrintCheck("fig10.single_worst_pattern_across_chips", "no",
+  PrintCheck(out, "fig10.single_worst_pattern_across_chips", "no",
              worst_counts.size() > 1 ? "no" : "yes");
-  return 0;
 }
+
+ExperimentSpec Fig10Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig10_data_pattern";
+  spec.description =
+      "Figure 10: expected normalized min RDT per data pattern";
+  spec.flags = WithCampaignFlags({
+      {"devices", "all", "device set: all, ddr4, hbm2, or comma list"},
+      {"rows", "6", "victim rows per device"},
+      {"measurements", "1000", "measurements per series"},
+      {"seed", "2025", "base RNG seed"},
+      {"scan", "96", "rows scanned per region when selecting victims"},
+      {"iters", "4000", "Monte Carlo iterations per (row, N)"},
+  });
+  spec.smoke_args = {"--devices=M1,S2", "--rows=3", "--measurements=120",
+                     "--iters=500"};
+  spec.build_campaign = BuildFig10Campaign;
+  spec.analyze = AnalyzeFig10;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig10Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

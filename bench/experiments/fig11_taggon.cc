@@ -4,55 +4,47 @@
  * minimum RDT after N measurements for the three aggressor-on-time
  * levels (minimum tRAS, tREFI, 9 x tREFI), per manufacturer. The VRD
  * profile can become better or worse as tAggOn increases.
- *
- * Flags: --rows=6 --measurements=1000 --iters=4000 --seed=2025
  */
+#include <algorithm>
 #include <iostream>
 #include <map>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/min_rdt_mc.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
-
+namespace vrddram::bench {
 namespace {
 
-std::string GroupName(const core::SeriesRecord& record) {
-  if (record.standard == dram::Standard::kHbm2) {
-    return "Mfr. S HBM2";
-  }
-  return ToString(record.mfr);
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+core::CampaignConfig BuildFig11Campaign(const Flags& flags) {
   core::CampaignConfig config;
-  config.devices = ResolveDevices(flags.GetString("devices", "all"));
+  config.devices = ResolveDevices(flags.GetString("devices"));
   config.rows_per_device =
-      static_cast<std::size_t>(flags.GetUint("rows", 6));
+      static_cast<std::size_t>(flags.GetUint("rows"));
   config.measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
-  config.base_seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  config.base_seed = flags.GetUint("seed");
   config.scan_rows_per_region =
-      static_cast<std::size_t>(flags.GetUint("scan", 96));
-  config.threads = ResolveThreads(flags);
-  ApplyResilienceFlags(flags, &config);
+      static_cast<std::size_t>(flags.GetUint("scan"));
+  ApplyCampaignExecutionFlags(flags, &config);
   config.t_ons = {core::TOnChoice::kMinTras, core::TOnChoice::kTrefi,
                   core::TOnChoice::kNineTrefi};
+  return config;
+}
+
+void AnalyzeFig11(const core::CampaignResult& result, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const core::CampaignConfig config = BuildFig11Campaign(flags);
 
   core::MinRdtSettings settings;
   settings.iterations =
-      static_cast<std::size_t>(flags.GetUint("iters", 4000));
+      static_cast<std::size_t>(flags.GetUint("iters"));
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 11: expected normalized min RDT per tAggOn and "
               "manufacturer");
 
-  const core::CampaignResult result = core::RunCampaign(config);
-  PrintShardSummary(result);
+  PrintShardSummary(out, result);
   Rng rng(config.base_seed ^ 0xf1b);
 
   std::map<std::string,
@@ -61,7 +53,7 @@ int main(int argc, char** argv) {
   for (const core::SeriesRecord& record : result.records) {
     const core::RowMinRdtResult mc =
         core::AnalyzeRowSeries(record.series, settings, rng);
-    auto& per_ton = groups[GroupName(record)][record.t_on];
+    auto& per_ton = groups[ManufacturerGroupName(record)][record.t_on];
     if (per_ton.empty()) {
       per_ton.resize(settings.sample_sizes.size());
     }
@@ -89,9 +81,9 @@ int main(int argc, char** argv) {
       }
     }
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintBanner(std::cout, "Findings 14-15 checks");
+  PrintBanner(out, "Findings 14-15 checks");
   for (const auto& [group, per_ton] : median_n1) {
     if (per_ton.size() < 2) {
       continue;
@@ -102,9 +94,33 @@ int main(int argc, char** argv) {
       mn = std::min(mn, median);
       mx = std::max(mx, median);
     }
-    PrintCheck("fig11.profile_changes_with_taggon." + group,
+    PrintCheck(out, "fig11.profile_changes_with_taggon." + group,
                "medians differ across tAggOn",
                Cell(mn, 4) + " .. " + Cell(mx, 4));
   }
-  return 0;
 }
+
+ExperimentSpec Fig11Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig11_taggon";
+  spec.description =
+      "Figure 11: expected normalized min RDT per tAggOn level";
+  spec.flags = WithCampaignFlags({
+      {"devices", "all", "device set: all, ddr4, hbm2, or comma list"},
+      {"rows", "6", "victim rows per device"},
+      {"measurements", "1000", "measurements per series"},
+      {"seed", "2025", "base RNG seed"},
+      {"scan", "96", "rows scanned per region when selecting victims"},
+      {"iters", "4000", "Monte Carlo iterations per (row, N)"},
+  });
+  spec.smoke_args = {"--devices=M1,S2", "--rows=3", "--measurements=120",
+                     "--iters=500"};
+  spec.build_campaign = BuildFig11Campaign;
+  spec.analyze = AnalyzeFig11;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig11Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

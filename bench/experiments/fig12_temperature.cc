@@ -5,49 +5,49 @@
  * chips (two per manufacturer), using the Rowstripe1 data pattern and
  * tAggOn = minimum tRAS. The temperature sweep runs through the
  * simulated heater-pad + PID rig.
- *
- * Flags: --devices=M0,M1,S0,S2,H1,H3 --rows=6 --measurements=1000
- *        --iters=4000 --seed=2025 --rig=true
  */
 #include <iostream>
 #include <map>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/min_rdt_mc.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+core::CampaignConfig BuildFig12Campaign(const Flags& flags) {
   core::CampaignConfig config;
-  config.devices =
-      ResolveDevices(flags.GetString("devices", "M0,M1,S0,S2,H1,H3"));
+  config.devices = ResolveDevices(flags.GetString("devices"));
   config.rows_per_device =
-      static_cast<std::size_t>(flags.GetUint("rows", 6));
+      static_cast<std::size_t>(flags.GetUint("rows"));
   config.measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
-  config.base_seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  config.base_seed = flags.GetUint("seed");
   config.scan_rows_per_region =
-      static_cast<std::size_t>(flags.GetUint("scan", 96));
-  config.threads = ResolveThreads(flags);
-  ApplyResilienceFlags(flags, &config);
+      static_cast<std::size_t>(flags.GetUint("scan"));
+  ApplyCampaignExecutionFlags(flags, &config);
   config.patterns = {dram::DataPattern::kRowstripe1};
   config.t_ons = {core::TOnChoice::kMinTras};
   config.temperatures = {50.0, 65.0, 80.0};
-  config.use_thermal_rig = flags.GetBool("rig", true);
+  config.use_thermal_rig = flags.GetBool("rig");
+  return config;
+}
+
+void AnalyzeFig12(const core::CampaignResult& result, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const core::CampaignConfig config = BuildFig12Campaign(flags);
 
   core::MinRdtSettings settings;
   settings.sample_sizes = {1};
   settings.iterations =
-      static_cast<std::size_t>(flags.GetUint("iters", 4000));
+      static_cast<std::size_t>(flags.GetUint("iters"));
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 12: expected normalized min RDT (N = 1) vs. "
               "temperature, Rowstripe1, tAggOn = min tRAS");
 
-  const core::CampaignResult result = core::RunCampaign(config);
-  PrintShardSummary(result);
+  PrintShardSummary(out, result);
   Rng rng(config.base_seed ^ 0xf1c);
 
   std::map<std::string, std::map<int, std::vector<double>>> groups;
@@ -77,13 +77,40 @@ int main(int argc, char** argv) {
       ++devices_with_change;
     }
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintBanner(std::cout, "Finding 16 check");
-  PrintCheck("fig12.devices_whose_profile_changes_with_temperature",
+  PrintBanner(out, "Finding 16 check");
+  PrintCheck(out,
+             "fig12.devices_whose_profile_changes_with_temperature",
              "all",
              Cell(static_cast<std::uint64_t>(devices_with_change)) +
                  " of " +
                  Cell(static_cast<std::uint64_t>(groups.size())));
-  return 0;
 }
+
+ExperimentSpec Fig12Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig12_temperature";
+  spec.description =
+      "Figure 12: expected normalized min RDT vs. temperature";
+  spec.flags = WithCampaignFlags({
+      {"devices", "M0,M1,S0,S2,H1,H3",
+       "device set: all, ddr4, hbm2, or comma list"},
+      {"rows", "6", "victim rows per device"},
+      {"measurements", "1000", "measurements per series"},
+      {"seed", "2025", "base RNG seed"},
+      {"scan", "96", "rows scanned per region when selecting victims"},
+      {"iters", "4000", "Monte Carlo iterations per (row, N)"},
+      {"rig", "true", "run the simulated heater-pad + PID thermal rig"},
+  });
+  spec.smoke_args = {"--devices=M1,S2", "--rows=3", "--measurements=120",
+                     "--iters=500"};
+  spec.build_campaign = BuildFig12Campaign;
+  spec.analyze = AnalyzeFig12;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig12Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

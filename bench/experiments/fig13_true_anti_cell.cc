@@ -6,31 +6,29 @@
  * row on times. The encoding of each row is reverse-engineered with
  * the retention-based methodology (write 0x00 / 0xFF, pause refresh
  * far beyond retention, observe the decay direction).
- *
- * Flags: --device=M0 --anti=12 --true=18 --measurements=1000
- *        --seed=2025
  */
 #include <iostream>
 #include <map>
 
 #include "bender/host.h"
-#include "common/bench_util.h"
+#include "common/experiment.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const std::string device_name = flags.GetString("device", "M0");
+void AnalyzeFig13(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const std::string device_name = flags.GetString("device");
   const auto want_anti =
-      static_cast<std::size_t>(flags.GetUint("anti", 12));
+      static_cast<std::size_t>(flags.GetUint("anti"));
   const auto want_true =
-      static_cast<std::size_t>(flags.GetUint("true", 18));
+      static_cast<std::size_t>(flags.GetUint("true"));
   const auto measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  const std::uint64_t seed = flags.GetUint("seed");
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 13: CV of RDT for anti-cell vs. true-cell rows "
               "(" + device_name + ")");
 
@@ -76,8 +74,8 @@ int main(int argc, char** argv) {
     (*encoding == dram::CellEncoding::kAntiCell ? anti_found
                                                 : true_found)++;
   }
-  std::cout << "rows: " << anti_found << " anti-cell, " << true_found
-            << " true-cell\n";
+  out << "rows: " << anti_found << " anti-cell, " << true_found
+      << " true-cell\n";
 
   // CV per (row, sweep dimension): patterns at 50 degC / min tRAS;
   // temperatures with Rowstripe1; tAggOn values with Rowstripe1.
@@ -141,14 +139,35 @@ int main(int argc, char** argv) {
       }
     }
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintBanner(std::cout, "Finding 17 check");
+  PrintBanner(out, "Finding 17 check");
   for (const auto& [subplot, pair] : medians) {
     const double ratio =
         (pair.second > 0.0) ? pair.first / pair.second : 0.0;
-    PrintCheck("fig13.anti_vs_true_median_cv_ratio." + subplot,
+    PrintCheck(out, "fig13.anti_vs_true_median_cv_ratio." + subplot,
                "~1 (no significant difference)", ratio, 2);
   }
-  return 0;
 }
+
+ExperimentSpec Fig13Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig13_true_anti_cell";
+  spec.description =
+      "Figure 13: CV of RDT for anti-cell vs. true-cell rows";
+  spec.flags = {
+      {"device", "M0", "module whose rows are reverse-engineered"},
+      {"anti", "12", "anti-cell rows to collect"},
+      {"true", "18", "true-cell rows to collect"},
+      {"measurements", "1000", "measurements per series"},
+      {"seed", "2025", "base RNG seed"},
+  };
+  spec.smoke_args = {"--anti=3", "--true=3", "--measurements=120"};
+  spec.analyze = AnalyzeFig13;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig13Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

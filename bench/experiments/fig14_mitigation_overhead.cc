@@ -5,31 +5,37 @@
  * baseline system without read-disturbance mitigation, for two
  * threshold regimes (near-future RDT = 1024 and very-low RDT = 128)
  * each with 0%, 10%, 25%, and 50% safety margins.
- *
- * Flags: --requests=20000 --mixes=15 --seed=2025
  */
 #include <iostream>
 #include <map>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "memsim/system.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
-using namespace vrddram::memsim;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+using memsim::MakeHighMemoryIntensityMixes;
+using memsim::MitigationKind;
+using memsim::NormalizedPerformance;
+using memsim::Scheduler;
+using memsim::SimulateMix;
+using memsim::SystemConfig;
+using memsim::SystemResult;
+
+void AnalyzeFig14(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
   const auto requests =
-      static_cast<std::size_t>(flags.GetUint("requests", 20000));
+      static_cast<std::size_t>(flags.GetUint("requests"));
   const auto num_mixes =
-      static_cast<std::size_t>(flags.GetUint("mixes", 15));
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
-  const Scheduler scheduler = flags.GetBool("frfcfs", false)
+      static_cast<std::size_t>(flags.GetUint("mixes"));
+  const std::uint64_t seed = flags.GetUint("seed");
+  const Scheduler scheduler = flags.GetBool("frfcfs")
                                   ? Scheduler::kFrFcfs
                                   : Scheduler::kInOrder;
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 14: normalized performance of read-disturbance "
               "mitigations vs. configured RDT and guardband");
 
@@ -88,7 +94,7 @@ int main(int argc, char** argv) {
     }
     table.AddRow(row);
   }
-  table.Print(std::cout);
+  table.Print(out);
 
   // Tail-latency view of the worst configuration.
   {
@@ -100,7 +106,7 @@ int main(int argc, char** argv) {
     sc.mitigation = MitigationKind::kMint;
     sc.rdt = 64;
     const SystemResult worst = SimulateMix(mixes[0], sc);
-    PrintBanner(std::cout, "Latency (mix0): baseline vs MINT @ RDT 64");
+    PrintBanner(out, "Latency (mix0): baseline vs MINT @ RDT 64");
     TextTable latency({"config", "avg (ns)", "p50 (ns)", "p99 (ns)"});
     latency.AddRow({"baseline", Cell(base.AvgLatencyNs(), 1),
                     Cell(base.LatencyPercentileNs(50.0), 1),
@@ -108,31 +114,51 @@ int main(int argc, char** argv) {
     latency.AddRow({"MINT @ 64", Cell(worst.AvgLatencyNs(), 1),
                     Cell(worst.LatencyPercentileNs(50.0), 1),
                     Cell(worst.LatencyPercentileNs(99.0), 1)});
-    latency.Print(std::cout);
+    latency.Print(out);
   }
 
-  PrintBanner(std::cout, "§6.3 checks (losses relative to no margin)");
+  PrintBanner(out, "§6.3 checks (losses relative to no margin)");
   auto loss_vs_margin0 = [&](int kind, int margin_cfg, int base_cfg) {
     return 100.0 * (1.0 - cell[{margin_cfg, kind}] /
                               cell[{base_cfg, kind}]);
   };
   // At RDT = 128: 10% margin costs Graphene 1.0%, PRAC 0.0%,
   // PARA 5.9%, MINT 0.0%; 50% margin costs 8.5 / 7.6 / 35.0 / 45.0%.
-  PrintCheck("fig14.rdt128_margin10.graphene_loss_pct", 1.0,
+  PrintCheck(out, "fig14.rdt128_margin10.graphene_loss_pct", 1.0,
              loss_vs_margin0(0, 5, 4), 1);
-  PrintCheck("fig14.rdt128_margin10.prac_loss_pct", 0.0,
+  PrintCheck(out, "fig14.rdt128_margin10.prac_loss_pct", 0.0,
              loss_vs_margin0(1, 5, 4), 1);
-  PrintCheck("fig14.rdt128_margin10.para_loss_pct", 5.9,
+  PrintCheck(out, "fig14.rdt128_margin10.para_loss_pct", 5.9,
              loss_vs_margin0(2, 5, 4), 1);
-  PrintCheck("fig14.rdt128_margin10.mint_loss_pct", 0.0,
+  PrintCheck(out, "fig14.rdt128_margin10.mint_loss_pct", 0.0,
              loss_vs_margin0(3, 5, 4), 1);
-  PrintCheck("fig14.rdt128_margin50.graphene_loss_pct", 8.5,
+  PrintCheck(out, "fig14.rdt128_margin50.graphene_loss_pct", 8.5,
              loss_vs_margin0(0, 7, 4), 1);
-  PrintCheck("fig14.rdt128_margin50.prac_loss_pct", 7.6,
+  PrintCheck(out, "fig14.rdt128_margin50.prac_loss_pct", 7.6,
              loss_vs_margin0(1, 7, 4), 1);
-  PrintCheck("fig14.rdt128_margin50.para_loss_pct", 35.0,
+  PrintCheck(out, "fig14.rdt128_margin50.para_loss_pct", 35.0,
              loss_vs_margin0(2, 7, 4), 1);
-  PrintCheck("fig14.rdt128_margin50.mint_loss_pct", 45.0,
+  PrintCheck(out, "fig14.rdt128_margin50.mint_loss_pct", 45.0,
              loss_vs_margin0(3, 7, 4), 1);
-  return 0;
 }
+
+ExperimentSpec Fig14Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig14_mitigation_overhead";
+  spec.description =
+      "Figure 14: normalized performance of RD mitigations";
+  spec.flags = {
+      {"requests", "20000", "memory requests per core"},
+      {"mixes", "15", "workload mixes to simulate"},
+      {"seed", "2025", "base RNG seed"},
+      {"frfcfs", "false", "use the FR-FCFS scheduler"},
+  };
+  spec.smoke_args = {"--requests=2000", "--mixes=2"};
+  spec.analyze = AnalyzeFig14;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig14Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -5,49 +5,50 @@
  * (circles) and minimum (bars) across all tested rows and parameter
  * combinations. Even N = 500 with a 50% margin does not guarantee the
  * minimum is identified.
- *
- * Flags: --devices=all --rows=6 --measurements=1000 --iters=4000
- *        --seed=2025
  */
 #include <algorithm>
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/min_rdt_mc.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+core::CampaignConfig BuildFig15Campaign(const Flags& flags) {
   core::CampaignConfig config;
-  config.devices = ResolveDevices(flags.GetString("devices", "all"));
+  config.devices = ResolveDevices(flags.GetString("devices"));
   config.rows_per_device =
-      static_cast<std::size_t>(flags.GetUint("rows", 6));
+      static_cast<std::size_t>(flags.GetUint("rows"));
   config.measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
-  config.base_seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  config.base_seed = flags.GetUint("seed");
   config.scan_rows_per_region =
-      static_cast<std::size_t>(flags.GetUint("scan", 96));
-  config.threads = ResolveThreads(flags);
-  ApplyResilienceFlags(flags, &config);
+      static_cast<std::size_t>(flags.GetUint("scan"));
+  ApplyCampaignExecutionFlags(flags, &config);
   // Two representative parameter combinations keep the run short; add
   // more with --patterns (the trend is unchanged).
   config.patterns = {dram::DataPattern::kCheckered0,
                      dram::DataPattern::kRowstripe1};
+  return config;
+}
+
+void AnalyzeFig15(const core::CampaignResult& result, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const core::CampaignConfig config = BuildFig15Campaign(flags);
 
   core::MinRdtSettings settings;
   settings.sample_sizes = {1, 3, 5, 10, 50, 500};
   settings.iterations =
-      static_cast<std::size_t>(flags.GetUint("iters", 4000));
+      static_cast<std::size_t>(flags.GetUint("iters"));
   settings.margins = {0.10, 0.20, 0.30, 0.40, 0.50};
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 15: probability of finding the min RDT within a "
               "safety margin, vs. N measurements");
 
-  const core::CampaignResult result = core::RunCampaign(config);
-  PrintShardSummary(result);
+  PrintShardSummary(out, result);
   Rng rng(config.base_seed ^ 0xf15);
 
   // per (N index, margin index): list across rows.
@@ -87,11 +88,37 @@ int main(int argc, char** argv) {
       }
     }
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintBanner(std::cout, "§6.4 checks");
-  PrintCheck("fig15.mean_prob_n50_margin10", 0.991, mean_n50_m10, 3);
-  PrintCheck("fig15.min_prob_n50_margin10", 0.045, min_n50_m10, 3);
-  PrintCheck("fig15.min_prob_n500_margin50", 0.749, min_n500_m50, 3);
-  return 0;
+  PrintBanner(out, "§6.4 checks");
+  PrintCheck(out, "fig15.mean_prob_n50_margin10", 0.991, mean_n50_m10,
+             3);
+  PrintCheck(out, "fig15.min_prob_n50_margin10", 0.045, min_n50_m10, 3);
+  PrintCheck(out, "fig15.min_prob_n500_margin50", 0.749, min_n500_m50,
+             3);
 }
+
+ExperimentSpec Fig15Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig15_guardband_probability";
+  spec.description =
+      "Figure 15: probability of finding the min RDT within a margin";
+  spec.flags = WithCampaignFlags({
+      {"devices", "all", "device set: all, ddr4, hbm2, or comma list"},
+      {"rows", "6", "victim rows per device"},
+      {"measurements", "1000", "measurements per series"},
+      {"seed", "2025", "base RNG seed"},
+      {"scan", "96", "rows scanned per region when selecting victims"},
+      {"iters", "4000", "Monte Carlo iterations per (row, N)"},
+  });
+  spec.smoke_args = {"--devices=M1,S2", "--rows=3", "--measurements=150",
+                     "--iters=500"};
+  spec.build_campaign = BuildFig15Campaign;
+  spec.analyze = AnalyzeFig15;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig15Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

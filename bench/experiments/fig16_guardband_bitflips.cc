@@ -5,53 +5,51 @@
  * and count the unique cells that still flip. The paper observes up to
  * 5 unique flipping cells per row at a 10% margin (spanning up to 4
  * chips, at most 1 per ECC codeword) and none at margins above 10%.
- *
- * Flags: --devices=ddr4 --rows=6 --trials=10000 --seed=2025
  */
 #include <algorithm>
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/guardband.h"
 #include "ecc/analysis.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+void AnalyzeFig16(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
   core::GuardbandConfig config;
-  config.devices = ResolveDevices(flags.GetString("devices", "ddr4"));
+  config.devices = ResolveDevices(flags.GetString("devices"));
   config.rows_per_device =
-      static_cast<std::size_t>(flags.GetUint("rows", 9));
-  config.trials =
-      static_cast<std::size_t>(flags.GetUint("trials", 10000));
-  config.base_seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("rows"));
+  config.trials = static_cast<std::size_t>(flags.GetUint("trials"));
+  config.base_seed = flags.GetUint("seed");
   config.scan_rows_per_region =
-      static_cast<std::size_t>(flags.GetUint("scan", 96));
+      static_cast<std::size_t>(flags.GetUint("scan"));
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Figure 16: unique bitflips per row when hammering below "
               "the measured min RDT with safety margins");
 
   const auto outcomes = core::RunGuardbandStudy(config);
-  std::cout << "tested " << outcomes.size()
-            << " (row, pattern) combinations\n";
+  out << "tested " << outcomes.size()
+      << " (row, pattern) combinations\n";
 
   for (const double margin : config.margins) {
-    PrintBanner(std::cout, "Margin " + Cell(margin * 100.0, 0) +
-                               "%: histogram of unique bitflips per "
-                               "row across " +
-                               Cell(static_cast<std::uint64_t>(
-                                   config.trials)) +
-                               " trials");
+    PrintBanner(out, "Margin " + Cell(margin * 100.0, 0) +
+                         "%: histogram of unique bitflips per "
+                         "row across " +
+                         Cell(static_cast<std::uint64_t>(
+                             config.trials)) +
+                         " trials");
     TextTable table({"unique bitflips", "# of rows"});
     for (const auto& [bitflips, rows] :
          core::BitflipHistogramAtMargin(outcomes, margin)) {
       table.AddRow({Cell(static_cast<std::uint64_t>(bitflips)),
                     Cell(static_cast<std::uint64_t>(rows))});
     }
-    table.Print(std::cout);
+    table.Print(out);
   }
 
   // ECC-codeword placement of the 10%-margin flips.
@@ -76,22 +74,43 @@ int main(int argc, char** argv) {
     }
   }
 
-  PrintBanner(std::cout, "§6.4 checks");
-  PrintCheck("fig16.max_unique_bitflips_at_10pct", "5",
+  PrintBanner(out, "§6.4 checks");
+  PrintCheck(out, "fig16.max_unique_bitflips_at_10pct", "5",
              Cell(static_cast<std::uint64_t>(max_flips_10)));
-  PrintCheck("fig16.max_chips_touched_at_10pct", "4",
+  PrintCheck(out, "fig16.max_chips_touched_at_10pct", "4",
              Cell(static_cast<std::uint64_t>(max_chips_10)));
-  PrintCheck("fig16.max_bitflips_per_secded_codeword", "1",
+  PrintCheck(out, "fig16.max_bitflips_per_secded_codeword", "1",
              Cell(static_cast<std::uint64_t>(max_secded_10)));
-  PrintCheck("fig16.max_bitflips_per_chipkill_codeword", "1",
+  PrintCheck(out, "fig16.max_bitflips_per_chipkill_codeword", "1",
              Cell(static_cast<std::uint64_t>(max_chipkill_10)));
-  PrintCheck("fig16.max_unique_bitflips_above_10pct",
+  PrintCheck(out, "fig16.max_unique_bitflips_above_10pct",
              "<= 1 (no more than one bitflip observed)",
              Cell(static_cast<std::uint64_t>(max_flips_above_10)));
 
   const double ber = core::WorstBitErrorRate(outcomes, 0.10, 65536);
-  PrintCheck("fig16.worst_bit_error_rate_at_10pct", 7.6e-5, ber, 6);
-  std::cout << "\n(That bit error rate feeds Table 3; see "
-               "bench_table03_ecc.)\n";
-  return 0;
+  PrintCheck(out, "fig16.worst_bit_error_rate_at_10pct", 7.6e-5, ber, 6);
+  out << "\n(That bit error rate feeds Table 3; see "
+         "bench_table03_ecc.)\n";
 }
+
+ExperimentSpec Fig16Spec() {
+  ExperimentSpec spec;
+  spec.name = "fig16_guardband_bitflips";
+  spec.description =
+      "Figure 16: unique bitflips when hammering below min RDT";
+  spec.flags = {
+      {"devices", "ddr4", "device set: all, ddr4, hbm2, or comma list"},
+      {"rows", "9", "victim rows per device"},
+      {"trials", "10000", "hammer trials per (row, margin)"},
+      {"seed", "2025", "base RNG seed"},
+      {"scan", "96", "rows scanned per region when selecting victims"},
+  };
+  spec.smoke_args = {"--devices=M1,S2", "--rows=3", "--trials=300"};
+  spec.analyze = AnalyzeFig16;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Fig16Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

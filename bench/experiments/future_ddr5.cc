@@ -6,37 +6,35 @@
  * nodes, and demonstrates the closed loop the paper's §6.5 calls for:
  * an online profiler feeding the device's PRAC threshold, keeping the
  * victim safe while hammered far past its minimum RDT.
- *
- * Flags: --measurements=2000 --seed=2025
  */
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "bender/host.h"
+#include "common/error.h"
+#include "common/experiment.h"
 #include "core/online_profiler.h"
 #include "core/security_eval.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+void AnalyzeFutureDdr5(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
   const auto measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 2000));
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  const std::uint64_t seed = flags.GetUint("seed");
 
   auto device = vrd::BuildFutureDdr5Device(seed);
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Near-future DDR5 (PRAC-capable, RDT ~1024 regime)");
-  std::cout << device->org().Describe() << "\n";
+  out << device->org().Describe() << "\n";
 
   core::ProfilerConfig pc;
   core::RdtProfiler profiler(*device, pc);
   const auto victim = profiler.FindVictim(8, 8192);
-  if (!victim) {
-    std::cerr << "no victim row found\n";
-    return 1;
-  }
+  VRD_FATAL_IF(!victim, "no victim row found");
   const auto series =
       profiler.MeasureSeries(victim->row, victim->rdt_guess, measurements);
   const core::SeriesAnalysis a = core::AnalyzeSeries(series);
@@ -49,12 +47,12 @@ int main(int argc, char** argv) {
   profile.AddRow({"max/min", Cell(a.max_over_min, 3)});
   profile.AddRow({"CV", Cell(a.cv, 4)});
   profile.AddRow({"unique values", Cell(a.unique_values)});
-  profile.Print(std::cout);
-  PrintCheck("future.vrd_severe_at_advanced_node",
+  profile.Print(out);
+  PrintCheck(out, "future.vrd_severe_at_advanced_node",
              "worse than today's chips (Finding 11 extrapolated)",
              Cell(a.cv, 4) + " CV");
 
-  PrintBanner(std::cout,
+  PrintBanner(out,
               "Closed loop: online profiler -> device PRAC threshold");
   core::OnlineRdtProfiler online(*device, victim->row);
   std::uint64_t reconfigurations = 0;
@@ -69,11 +67,11 @@ int main(int argc, char** argv) {
     device->Sleep(units::kSecond);
   }
   const auto final_threshold = online.RecommendedThreshold();
-  std::cout << "maintenance windows: 100, reconfigurations: "
-            << reconfigurations << ", final PRAC threshold: "
-            << (final_threshold ? Cell(*final_threshold)
-                                : std::string("none"))
-            << "\n";
+  out << "maintenance windows: 100, reconfigurations: "
+      << reconfigurations << ", final PRAC threshold: "
+      << (final_threshold ? Cell(*final_threshold)
+                          : std::string("none"))
+      << "\n";
 
   if (final_threshold) {
     // PRAC is configured below the profiler's recommendation: the
@@ -100,10 +98,28 @@ int main(int argc, char** argv) {
     }
     const auto flips = host.ReadAndCompareVictim(
         0, victim->row, dram::DataPattern::kCheckered0);
-    PrintCheck("future.prac_with_online_threshold_protects",
+    PrintCheck(out, "future.prac_with_online_threshold_protects",
                "0 bitflips",
                Cell(static_cast<std::uint64_t>(flips.size())) +
                    " bitflips");
   }
-  return 0;
 }
+
+ExperimentSpec FutureDdr5Spec() {
+  ExperimentSpec spec;
+  spec.name = "future_ddr5";
+  spec.description =
+      "Near-future DDR5 regime with an online-profiled PRAC loop";
+  spec.flags = {
+      {"measurements", "2000", "measurements per series"},
+      {"seed", "2025", "base RNG seed"},
+  };
+  spec.smoke_args = {"--measurements=300"};
+  spec.analyze = AnalyzeFutureDdr5;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(FutureDdr5Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -5,28 +5,28 @@
  * bank region, as an S-curve. This is what makes exhaustive per-row
  * profiling necessary in the first place - and what VRD then shows to
  * be insufficient even per row.
- *
- * Flags: --device=M1 --rows=2048 --seed=2025
  */
 #include <algorithm>
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const std::string device_name = flags.GetString("device", "M1");
-  const auto rows = flags.GetUint("rows", 2048);
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
+void AnalyzeSpatialVariation(const core::CampaignResult&,
+                             Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const std::string device_name = flags.GetString("device");
+  const auto rows = flags.GetUint("rows");
+  const std::uint64_t seed = flags.GetUint("seed");
 
   auto device = vrd::BuildDevice(device_name, seed);
   auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());
 
-  PrintBanner(std::cout, "Spatial variation of RDT across the first " +
-                             Cell(rows) + " rows of " + device_name);
+  PrintBanner(out, "Spatial variation of RDT across the first " +
+                       Cell(rows) + " rows of " + device_name);
 
   std::vector<double> rdts;
   std::size_t invulnerable = 0;
@@ -49,13 +49,31 @@ int main(int argc, char** argv) {
        {0.0, 1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
     table.AddRow({Cell(p, 0), Cell(stats::Percentile(rdts, p), 0)});
   }
-  table.Print(std::cout);
-  std::cout << "\nrows with no disturbance-prone cell: " << invulnerable
-            << " of " << rows << "\n";
-  PrintCheck("spatial.p100_over_p0",
+  table.Print(out);
+  out << "\nrows with no disturbance-prone cell: " << invulnerable
+      << " of " << rows << "\n";
+  PrintCheck(out, "spatial.p100_over_p0",
              "order-of-magnitude spread across rows ([134])",
              stats::Percentile(rdts, 100.0) /
                  stats::Percentile(rdts, 0.0),
              1);
-  return 0;
 }
+
+ExperimentSpec SpatialVariationSpec() {
+  ExperimentSpec spec;
+  spec.name = "spatial_variation";
+  spec.description = "Spatial variation of RDT across rows (S-curve)";
+  spec.flags = {
+      {"device", "M1", "device to profile"},
+      {"rows", "2048", "rows to measure"},
+      {"seed", "2025", "base RNG seed"},
+  };
+  spec.smoke_args = {"--rows=256"};
+  spec.analyze = AnalyzeSpatialVariation;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(SpatialVariationSpec);
+
+}  // namespace
+}  // namespace vrddram::bench

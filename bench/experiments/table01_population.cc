@@ -6,16 +6,17 @@
  */
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
+void AnalyzeTable01(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const std::uint64_t seed = flags.GetUint("seed");
 
-  PrintBanner(std::cout, "Table 1: tested DDR4 modules and HBM2 chips");
+  PrintBanner(out, "Table 1: tested DDR4 modules and HBM2 chips");
   TextTable table({"Mfr.", "Module/Chip", "# of Chips",
                    "Density - Die Rev.", "Chip Org.", "Date (ww-yy)",
                    "Standard"});
@@ -31,9 +32,9 @@ int main(int argc, char** argv) {
                   chip.spec.date_code,
                   dram::ToString(chip.spec.standard)});
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintCheck("table01.ddr4_chip_count", "160",
+  PrintCheck(out, "table01.ddr4_chip_count", "160",
              Cell([&] {
                std::uint64_t chips = 0;
                for (const std::string& name : vrd::Ddr4ModuleNames()) {
@@ -41,11 +42,11 @@ int main(int argc, char** argv) {
                }
                return chips;
              }()));
-  PrintCheck("table01.hbm2_chip_count", "4",
+  PrintCheck(out, "table01.hbm2_chip_count", "4",
              Cell(static_cast<std::uint64_t>(
                  vrd::Hbm2ChipNames().size())));
 
-  PrintBanner(std::cout, "Table 2: data patterns");
+  PrintBanner(out, "Table 2: data patterns");
   TextTable patterns({"Row Addresses", "Rowstripe0", "Rowstripe1",
                       "Checkered0", "Checkered1"});
   auto hex = [](std::uint8_t byte) {
@@ -64,6 +65,22 @@ int main(int argc, char** argv) {
   patterns.AddRow(victim);
   patterns.AddRow(aggr);
   patterns.AddRow(far);
-  patterns.Print(std::cout);
-  return 0;
+  patterns.Print(out);
 }
+
+ExperimentSpec Table01Spec() {
+  ExperimentSpec spec;
+  spec.name = "table01_population";
+  spec.description = "Table 1: tested DDR4 modules and HBM2 chips";
+  spec.flags = {
+      {"seed", "2025", "base RNG seed"},
+  };
+  spec.smoke_args = {};
+  spec.analyze = AnalyzeTable01;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Table01Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

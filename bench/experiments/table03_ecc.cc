@@ -6,22 +6,19 @@
  * rate (7.6e-5, from 5 unique bitflips in a 64 Kibit row at a 10% RDT
  * guardband). The analytic model is cross-checked against Monte Carlo
  * fault injection into the real codecs.
- *
- * Flags: --ber=7.62939453125e-05 --mc_trials=2000000 --seed=2025
  */
 #include <iostream>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "common/rng.h"
 #include "ecc/analysis.h"
 #include "ecc/chipkill.h"
 #include "ecc/hamming.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
-using namespace vrddram::ecc;
-
+namespace vrddram::bench {
 namespace {
+
+using namespace vrddram::ecc;
 
 std::string Prob(double p) {
   if (p < 0.0) {
@@ -32,17 +29,15 @@ std::string Prob(double p) {
   return buffer;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const double ber = flags.GetDouble("ber", kPaperWorstBer);
+void AnalyzeTable03(const core::CampaignResult&, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const double ber = flags.GetDouble("ber");
   const auto mc_trials =
-      static_cast<std::size_t>(flags.GetUint("mc_trials", 2000000));
-  const std::uint64_t seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("mc_trials"));
+  const std::uint64_t seed = flags.GetUint("seed");
 
-  PrintBanner(std::cout,
-              "Table 3: error probabilities at BER " + Prob(ber));
+  PrintBanner(out, "Table 3: error probabilities at BER " + Prob(ber));
 
   TextTable table({"Type of error", "SEC", "SECDED",
                    "Chipkill-like (SSC)"});
@@ -57,18 +52,18 @@ int main(int argc, char** argv) {
                 Prob(sec.detectable_uncorrectable),
                 Prob(secded.detectable_uncorrectable),
                 Prob(ssc.detectable_uncorrectable)});
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintBanner(std::cout, "Paper values");
-  PrintCheck("table03.sec_uncorrectable", "1.48e-05",
+  PrintBanner(out, "Paper values");
+  PrintCheck(out, "table03.sec_uncorrectable", "1.48e-05",
              Prob(sec.uncorrectable));
-  PrintCheck("table03.secded_undetectable", "2.64e-08",
+  PrintCheck(out, "table03.secded_undetectable", "2.64e-08",
              Prob(secded.undetectable));
-  PrintCheck("table03.ssc_uncorrectable", "5.66e-05",
+  PrintCheck(out, "table03.ssc_uncorrectable", "5.66e-05",
              Prob(ssc.uncorrectable));
 
   // Monte Carlo cross-check with the real codecs at the same BER.
-  PrintBanner(std::cout, "Monte Carlo cross-check (real codecs)");
+  PrintBanner(out, "Monte Carlo cross-check (real codecs)");
   Rng rng(seed);
   const Hamming72 hamming;
   const ChipkillSsc chipkill;
@@ -119,10 +114,30 @@ int main(int argc, char** argv) {
     }
   }
   const auto trials = static_cast<double>(mc_trials);
-  PrintCheck("table03.mc_secded_uncorrectable",
+  PrintCheck(out, "table03.mc_secded_uncorrectable",
              Prob(secded.uncorrectable),
              Prob(static_cast<double>(secded_uncorrectable) / trials));
-  PrintCheck("table03.mc_ssc_uncorrectable", Prob(ssc.uncorrectable),
+  PrintCheck(out, "table03.mc_ssc_uncorrectable",
+             Prob(ssc.uncorrectable),
              Prob(static_cast<double>(ssc_uncorrectable) / trials));
-  return 0;
 }
+
+ExperimentSpec Table03Spec() {
+  ExperimentSpec spec;
+  spec.name = "table03_ecc";
+  spec.description =
+      "Table 3: ECC error probabilities at the worst observed BER";
+  spec.flags = {
+      {"ber", "7.62939453125e-05", "bit error rate under analysis"},
+      {"mc_trials", "2000000", "Monte Carlo trials per codec"},
+      {"seed", "2025", "base RNG seed"},
+  };
+  spec.smoke_args = {"--mc_trials=20000"};
+  spec.analyze = AnalyzeTable03;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Table03Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

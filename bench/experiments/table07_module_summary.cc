@@ -4,44 +4,45 @@
  * expected normalized value of the minimum RDT across rows for
  * N = 1, 5, 50, 500 measurements, and the minimum observed RDT across
  * all measurements for tAggOn = tRAS and tAggOn = tREFI.
- *
- * Flags: --devices=all --rows=6 --measurements=1000 --iters=4000
- *        --seed=2025
  */
 #include <algorithm>
 #include <iostream>
 #include <map>
 
-#include "common/bench_util.h"
+#include "common/experiment.h"
 #include "core/min_rdt_mc.h"
 
-using namespace vrddram;
-using namespace vrddram::bench;
+namespace vrddram::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+core::CampaignConfig BuildTable07Campaign(const Flags& flags) {
   core::CampaignConfig config;
-  config.devices = ResolveDevices(flags.GetString("devices", "all"));
+  config.devices = ResolveDevices(flags.GetString("devices"));
   config.rows_per_device =
-      static_cast<std::size_t>(flags.GetUint("rows", 6));
+      static_cast<std::size_t>(flags.GetUint("rows"));
   config.measurements =
-      static_cast<std::size_t>(flags.GetUint("measurements", 1000));
-  config.base_seed = flags.GetUint("seed", 2025);
+      static_cast<std::size_t>(flags.GetUint("measurements"));
+  config.base_seed = flags.GetUint("seed");
   config.scan_rows_per_region =
-      static_cast<std::size_t>(flags.GetUint("scan", 96));
-  config.threads = ResolveThreads(flags);
-  ApplyResilienceFlags(flags, &config);
+      static_cast<std::size_t>(flags.GetUint("scan"));
+  ApplyCampaignExecutionFlags(flags, &config);
   config.t_ons = {core::TOnChoice::kMinTras, core::TOnChoice::kTrefi};
+  return config;
+}
+
+void AnalyzeTable07(const core::CampaignResult& result, Report* report) {
+  const Flags& flags = report->flags;
+  std::ostream& out = report->out;
+  const core::CampaignConfig config = BuildTable07Campaign(flags);
 
   core::MinRdtSettings settings;
   settings.sample_sizes = {1, 5, 50, 500};
   settings.iterations =
-      static_cast<std::size_t>(flags.GetUint("iters", 4000));
+      static_cast<std::size_t>(flags.GetUint("iters"));
 
-  PrintBanner(std::cout, "Table 7: per-module VRD summary");
+  PrintBanner(out, "Table 7: per-module VRD summary");
 
-  const core::CampaignResult result = core::RunCampaign(config);
-  PrintShardSummary(result);
+  PrintShardSummary(out, result);
   Rng rng(config.base_seed ^ 0x707);
 
   struct ModuleAgg {
@@ -93,9 +94,9 @@ int main(int argc, char** argv) {
     row.push_back(Cell(agg.min_rdt_trefi));
     table.AddRow(row);
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  PrintBanner(std::cout, "Table 7 spot checks");
+  PrintBanner(out, "Table 7 spot checks");
   auto spot = [&](const std::string& name, double paper_med_n1,
                   std::int64_t paper_min_tras,
                   std::int64_t paper_min_trefi) {
@@ -103,16 +104,39 @@ int main(int argc, char** argv) {
     if (it == modules.end()) {
       return;
     }
-    PrintCheck("table07." + name + ".median_n1", paper_med_n1,
+    PrintCheck(out, "table07." + name + ".median_n1", paper_med_n1,
                Box(it->second.norm_by_n[0]).median, 2);
-    PrintCheck("table07." + name + ".min_rdt_tras",
+    PrintCheck(out, "table07." + name + ".min_rdt_tras",
                Cell(paper_min_tras), Cell(it->second.min_rdt_tras));
-    PrintCheck("table07." + name + ".min_rdt_trefi",
+    PrintCheck(out, "table07." + name + ".min_rdt_trefi",
                Cell(paper_min_trefi), Cell(it->second.min_rdt_trefi));
   };
   spot("H1", 1.07, 7835, 1941);
   spot("M1", 1.08, 4250, 1796);
   spot("S0", 1.04, 12152, 1965);
   spot("Chip0", 1.05, 45136, 1244);
-  return 0;
 }
+
+ExperimentSpec Table07Spec() {
+  ExperimentSpec spec;
+  spec.name = "table07_module_summary";
+  spec.description = "Table 7: per-module VRD summary (Appendix B)";
+  spec.flags = WithCampaignFlags({
+      {"devices", "all", "device set: all, ddr4, hbm2, or comma list"},
+      {"rows", "6", "victim rows per device"},
+      {"measurements", "1000", "measurements per series"},
+      {"seed", "2025", "base RNG seed"},
+      {"scan", "96", "rows scanned per region when selecting victims"},
+      {"iters", "4000", "Monte Carlo iterations per (row, N)"},
+  });
+  spec.smoke_args = {"--devices=M1,S2", "--rows=3", "--measurements=120",
+                     "--iters=500"};
+  spec.build_campaign = BuildTable07Campaign;
+  spec.analyze = AnalyzeTable07;
+  return spec;
+}
+
+VRD_REGISTER_EXPERIMENT(Table07Spec);
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * `vrdrepro` — the unified driver over the experiment registry. All
+ * figure/table reproductions are `vrdrepro run <name>`; see
+ * bench/common/driver.h for the command grammar.
+ */
+#include <iostream>
+
+#include "common/driver.h"
+
+int main(int argc, char** argv) {
+  return vrddram::bench::RunDriver(argc, argv, std::cout, std::cerr);
+}

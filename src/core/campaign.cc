@@ -243,11 +243,8 @@ CampaignResult RunCampaign(const CampaignConfig& config,
 
   if (config.resume) {
     CampaignCheckpoint checkpoint;
-    if (LoadCheckpoint(config.checkpoint_path, &checkpoint)) {
-      VRD_FATAL_IF(checkpoint.config_hash != config_hash,
-                   "checkpoint: config hash mismatch — the checkpoint "
-                   "was written by a campaign with a different "
-                   "configuration");
+    if (LoadCheckpointFor(config.checkpoint_path, config_hash,
+                          &checkpoint)) {
       for (CampaignCheckpoint::ShardEntry& entry : checkpoint.shards) {
         VRD_FATAL_IF(entry.index >= shards.size(),
                      "checkpoint: shard index " +

@@ -250,7 +250,31 @@ bool LoadCheckpoint(const std::string& path, CampaignCheckpoint* out) {
   if (!is) {
     return false;  // nothing to resume
   }
-  *out = ReadCheckpoint(is);
+  try {
+    *out = ReadCheckpoint(is);
+  } catch (const FatalError& e) {
+    // Re-raise with the offending file named: the grammar-level
+    // messages have no way to know which path they came from.
+    throw FatalError("checkpoint '" + path + "': " + e.what());
+  }
+  return true;
+}
+
+bool LoadCheckpointFor(const std::string& path,
+                       std::uint64_t expected_config_hash,
+                       CampaignCheckpoint* out) {
+  if (!LoadCheckpoint(path, out)) {
+    return false;
+  }
+  if (out->config_hash != expected_config_hash) {
+    std::ostringstream os;
+    os << "checkpoint '" << path << "': config hash " << std::hex
+       << std::setw(16) << std::setfill('0') << out->config_hash
+       << " does not match the requested campaign's hash " << std::setw(16)
+       << std::setfill('0') << expected_config_hash
+       << "; it belongs to a different configuration";
+    throw FatalError(os.str());
+  }
   return true;
 }
 

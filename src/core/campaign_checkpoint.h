@@ -70,6 +70,17 @@ void SaveCheckpoint(const std::string& path,
  */
 bool LoadCheckpoint(const std::string& path, CampaignCheckpoint* out);
 
+/**
+ * LoadCheckpoint, then verify the stored config hash matches
+ * `expected_config_hash`. Both rejection paths — format-version
+ * mismatch and config-hash mismatch — raise FatalError naming `path`,
+ * so a stale `--resume` file or a foreign cache entry is always
+ * attributable. Returns false when the file does not exist.
+ */
+bool LoadCheckpointFor(const std::string& path,
+                       std::uint64_t expected_config_hash,
+                       CampaignCheckpoint* out);
+
 }  // namespace vrddram::core
 
 #endif  // VRDDRAM_CORE_CAMPAIGN_CHECKPOINT_H

@@ -1,0 +1,154 @@
+/**
+ * In-process tests of the vrdrepro driver: command dispatch, flag
+ * forwarding, and the golden cold/warm campaign-cache property — a
+ * warm run must produce byte-identical output with zero campaign
+ * executions, at any worker count.
+ */
+#include "common/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vrddram::bench {
+namespace {
+
+struct DriverRun {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+DriverRun Drive(std::vector<std::string> args) {
+  std::vector<const char*> argv = {"vrdrepro"};
+  for (const std::string& arg : args) {
+    argv.push_back(arg.c_str());
+  }
+  std::ostringstream out;
+  std::ostringstream err;
+  DriverRun run;
+  run.exit_code = RunDriver(static_cast<int>(argv.size()), argv.data(),
+                            out, err);
+  run.out = out.str();
+  run.err = err.str();
+  return run;
+}
+
+TEST(DriverTest, ListShowsEveryExperiment) {
+  const DriverRun run = Drive({"list"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("fig01_rdt_series"), std::string::npos);
+  EXPECT_NE(run.out.find("table07_module_summary"), std::string::npos);
+  EXPECT_NE(run.out.find("future_ddr5"), std::string::npos);
+}
+
+TEST(DriverTest, DescribePrintsSchemaAndSmokeLine) {
+  const DriverRun run = Drive({"describe", "fig10_data_pattern"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("--measurements=1000"), std::string::npos);
+  EXPECT_NE(run.out.find("--threads=0"), std::string::npos);
+  EXPECT_NE(run.out.find("smoke: --devices=M1,S2"), std::string::npos);
+}
+
+TEST(DriverTest, UnknownCommandAndExperimentFail) {
+  EXPECT_EQ(Drive({"frobnicate"}).exit_code, 2);
+  const DriverRun run = Drive({"run", "no_such_experiment"});
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.err.find("unknown experiment"), std::string::npos);
+  EXPECT_NE(run.err.find("fig01_rdt_series"), std::string::npos);
+}
+
+TEST(DriverTest, UnknownForwardedFlagAbortsWithTheRealSchema) {
+  const DriverRun run =
+      Drive({"run", "fig10_data_pattern", "--bogus=1"});
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.err.find("unknown flag --bogus"), std::string::npos);
+  EXPECT_NE(run.err.find("--measurements=1000"), std::string::npos);
+  EXPECT_NE(run.err.find("victim rows per device"), std::string::npos);
+}
+
+TEST(DriverTest, RunRequiresNamesOrAllButNotBoth) {
+  EXPECT_EQ(Drive({"run"}).exit_code, 2);
+  EXPECT_EQ(Drive({"run", "--all", "fig01_rdt_series"}).exit_code, 2);
+}
+
+TEST(DriverTest, WarmCacheRunsAreByteIdenticalAtAnyThreads) {
+  const std::string cache_dir =
+      (std::filesystem::path(::testing::TempDir()) /
+       "vrddram_driver_cache")
+          .string();
+  std::filesystem::remove_all(cache_dir);
+  const std::vector<std::string> base = {
+      "run",           "fig10_data_pattern",
+      "--smoke",       "--rows=2",
+      "--measurements=60", "--iters=100",
+      "--cache_dir=" + cache_dir};
+
+  auto with_threads = [&](const std::string& threads) {
+    std::vector<std::string> args = base;
+    args.push_back("--threads=" + threads);
+    return args;
+  };
+
+  // Cold at 1 worker; a fresh cache-less run at 8 workers; warm runs
+  // at both worker counts.
+  const DriverRun cold = Drive(with_threads("1"));
+  ASSERT_EQ(cold.exit_code, 0) << cold.err;
+  EXPECT_NE(cold.err.find("cache hits=0 misses=1 stores=1"),
+            std::string::npos)
+      << cold.err;
+
+  std::vector<std::string> fresh_args = with_threads("8");
+  fresh_args.push_back("--no-cache");
+  const DriverRun fresh = Drive(fresh_args);
+  ASSERT_EQ(fresh.exit_code, 0) << fresh.err;
+  EXPECT_EQ(fresh.err.find("campaign-cache"), std::string::npos);
+
+  const DriverRun warm1 = Drive(with_threads("1"));
+  const DriverRun warm8 = Drive(with_threads("8"));
+  ASSERT_EQ(warm1.exit_code, 0) << warm1.err;
+  ASSERT_EQ(warm8.exit_code, 0) << warm8.err;
+
+  EXPECT_EQ(cold.out, fresh.out);
+  EXPECT_EQ(cold.out, warm1.out);
+  EXPECT_EQ(cold.out, warm8.out);
+  EXPECT_NE(warm1.err.find("cache hits=1 misses=0 stores=0"),
+            std::string::npos)
+      << warm1.err;
+  EXPECT_NE(warm8.err.find("cache hits=1 misses=0 stores=0"),
+            std::string::npos)
+      << warm8.err;
+  std::filesystem::remove_all(cache_dir);
+}
+
+TEST(DriverTest, OutDirWritesOneReportPerExperiment) {
+  const std::string out_dir =
+      (std::filesystem::path(::testing::TempDir()) /
+       "vrddram_driver_out")
+          .string();
+  std::filesystem::remove_all(out_dir);
+  const DriverRun direct = Drive({"run", "table01_population"});
+  ASSERT_EQ(direct.exit_code, 0) << direct.err;
+
+  const DriverRun filed = Drive(
+      {"run", "table01_population", "--out_dir=" + out_dir});
+  ASSERT_EQ(filed.exit_code, 0) << filed.err;
+  EXPECT_TRUE(filed.out.empty());
+
+  const std::string path =
+      (std::filesystem::path(out_dir) / "table01_population.txt")
+          .string();
+  std::ifstream file(path);
+  ASSERT_TRUE(file) << path;
+  std::stringstream contents;
+  contents << file.rdbuf();
+  EXPECT_EQ(contents.str(), direct.out);
+  std::filesystem::remove_all(out_dir);
+}
+
+}  // namespace
+}  // namespace vrddram::bench

@@ -1,0 +1,108 @@
+/**
+ * Schema-driven Flags, the experiment registry, and the shared
+ * manufacturer grouping helper.
+ */
+#include "common/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vrddram::bench {
+namespace {
+
+const std::vector<FlagSpec> kSchema = {
+    {"rows", "6", "victim rows per device"},
+    {"ber", "0.25", "bit error rate"},
+    {"device", "M1", "device under test"},
+    {"rig", "true", "use the thermal rig"},
+};
+
+TEST(FlagsSchemaTest, GettersFallBackToSchemaDefaults) {
+  const Flags flags({}, kSchema);
+  EXPECT_EQ(flags.GetUint("rows"), 6u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ber"), 0.25);
+  EXPECT_EQ(flags.GetString("device"), "M1");
+  EXPECT_TRUE(flags.GetBool("rig"));
+}
+
+TEST(FlagsSchemaTest, ArgumentsOverrideDefaults) {
+  const Flags flags({"--rows=42", "--rig=false"}, kSchema);
+  EXPECT_EQ(flags.GetUint("rows"), 42u);
+  EXPECT_FALSE(flags.GetBool("rig"));
+  EXPECT_EQ(flags.GetString("device"), "M1");
+}
+
+TEST(FlagsSchemaTest, RejectsFlagsOutsideTheSchema) {
+  EXPECT_THROW(Flags({"--bogus=1"}, kSchema), FatalError);
+  const Flags flags({}, kSchema);
+  EXPECT_THROW(flags.GetUint("not_declared"), FatalError);
+}
+
+TEST(FlagsSchemaTest, DescribeListsEveryFlagWithDefaultAndHelp) {
+  const std::string text = Flags::Describe(kSchema);
+  EXPECT_NE(text.find("flags:"), std::string::npos);
+  EXPECT_NE(text.find("--rows=6"), std::string::npos);
+  EXPECT_NE(text.find("victim rows per device"), std::string::npos);
+  EXPECT_NE(text.find("--rig=true"), std::string::npos);
+  const Flags flags({}, kSchema);
+  EXPECT_EQ(flags.Describe(), text);
+  EXPECT_EQ(Flags::Describe({}), "");
+}
+
+TEST(ExperimentRegistryTest, FindsEveryPortedExperiment) {
+  const auto& registry = ExperimentRegistry::Instance();
+  for (const char* name :
+       {"fig01_rdt_series", "fig10_data_pattern", "fig11_taggon",
+        "table01_population", "table07_module_summary",
+        "appendix_test_time", "future_ddr5"}) {
+    const ExperimentSpec* spec = registry.Find(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_EQ(spec->name, name);
+    EXPECT_TRUE(spec->analyze) << name;
+  }
+  EXPECT_EQ(registry.Find("no_such_experiment"), nullptr);
+}
+
+TEST(ExperimentRegistryTest, AllIsSortedAndComplete) {
+  const auto all = ExperimentRegistry::Instance().All();
+  EXPECT_GE(all.size(), 24u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->name, all[i]->name);
+  }
+}
+
+TEST(ExperimentRegistryTest, RejectsDuplicateAndMalformedSpecs) {
+  auto& registry = ExperimentRegistry::Instance();
+  ExperimentSpec duplicate;
+  duplicate.name = "fig10_data_pattern";
+  duplicate.analyze = [](const core::CampaignResult&, Report*) {};
+  EXPECT_THROW(registry.Register(duplicate), FatalError);
+
+  ExperimentSpec unnamed;
+  unnamed.analyze = [](const core::CampaignResult&, Report*) {};
+  EXPECT_THROW(registry.Register(unnamed), FatalError);
+
+  ExperimentSpec no_analyze;
+  no_analyze.name = "zz_no_analyze";
+  EXPECT_THROW(registry.Register(no_analyze), FatalError);
+}
+
+TEST(GroupNameTest, Hbm2ChipsShareOneGroup) {
+  core::SeriesRecord record;
+  record.standard = dram::Standard::kHbm2;
+  record.mfr = vrd::Manufacturer::kMfrS;
+  EXPECT_EQ(ManufacturerGroupName(record), "Mfr. S HBM2");
+}
+
+TEST(GroupNameTest, Ddr4ModulesGroupByManufacturer) {
+  core::SeriesRecord record;
+  record.standard = dram::Standard::kDdr4;
+  record.mfr = vrd::Manufacturer::kMfrM;
+  EXPECT_EQ(ManufacturerGroupName(record), ToString(record.mfr));
+  record.mfr = vrd::Manufacturer::kMfrH;
+  EXPECT_EQ(ManufacturerGroupName(record), "Mfr. H");
+}
+
+}  // namespace
+}  // namespace vrddram::bench

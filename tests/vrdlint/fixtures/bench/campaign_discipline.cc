@@ -1,0 +1,28 @@
+// Fixture for the campaign-discipline rule: direct RunCampaign calls
+// under bench/ fire; the cached wrapper, non-call mentions, and
+// annotated calls do not.
+#include "core/campaign.h"
+
+namespace vrddram::bench {
+
+void Bad(const core::CampaignConfig& config) {
+  const auto direct = core::RunCampaign(config);
+  (void)direct;
+}
+
+void AlsoBad(const core::CampaignConfig& config) {
+  auto result = RunCampaign(config);
+  (void)result;
+}
+
+void Legal(const core::CampaignConfig& config) {
+  auto cached = core::RunCampaignCached(config, nullptr);
+  (void)cached;
+  // vrdlint: allow(campaign-discipline)
+  auto excused = core::RunCampaign(config);
+  (void)excused;
+  auto fn = &core::RunCampaign;
+  (void)fn;
+}
+
+}  // namespace vrddram::bench

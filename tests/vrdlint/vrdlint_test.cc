@@ -113,6 +113,37 @@ TEST(VrdlintCatchAllSwallow, FlagsSwallowingHandlersOnly) {
             std::string::npos);
 }
 
+TEST(VrdlintCampaignDiscipline, FlagsDirectCallsUnderBenchOnly) {
+  const std::string text = ReadFixture("bench/campaign_discipline.cc");
+  const std::vector<Diagnostic> found = vrdlint::LintSource(
+      "bench/campaign_discipline.cc", text, Config());
+  // RunCampaignCached (line 19), the annotated call (line 22), and the
+  // function-pointer mention (line 24) are all legal; only the two
+  // direct calls fire.
+  EXPECT_EQ(Locations(found),
+            (std::vector<std::string>{"9: campaign-discipline",
+                                      "14: campaign-discipline"}));
+  ASSERT_FALSE(found.empty());
+  EXPECT_NE(found[0].message.find("RunCampaignCached"),
+            std::string::npos);
+}
+
+TEST(VrdlintCampaignDiscipline, OnlyAppliesToTheBenchLayer) {
+  const std::string text = ReadFixture("bench/campaign_discipline.cc");
+  // The same source outside bench/ is executor plumbing, where calling
+  // RunCampaign is the whole point.
+  EXPECT_TRUE(
+      vrdlint::LintSource("src/core/campaign_cache.cc", text, Config())
+          .empty());
+  // Conf-level exemption, as vrdlint.conf grants the throughput
+  // microbenchmark.
+  Config config;
+  config.allow_paths["campaign-discipline"] = {"bench/perf_throughput"};
+  EXPECT_TRUE(
+      vrdlint::LintSource("bench/perf_throughput.cc", text, config)
+          .empty());
+}
+
 TEST(VrdlintHeaderHygiene, FlagsMissingGuardAndUsingNamespace) {
   EXPECT_EQ(Locations(LintFixture("header_bad.h")),
             (std::vector<std::string>{"1: header-hygiene",

@@ -967,6 +967,51 @@ void CheckCatchAllSwallow(const std::string& path, const FileView& view,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: campaign-discipline
+// ---------------------------------------------------------------------------
+
+/// True for repo-relative paths inside the bench/ layer.
+bool IsBenchPath(std::string_view path) {
+  return path.starts_with("bench/") ||
+         path.find("/bench/") != std::string_view::npos;
+}
+
+/// Experiments must not run campaigns themselves: the registry driver
+/// owns execution (and its cache). The word-boundary match leaves
+/// RunCampaignCached alone, and requiring the '(' leaves non-call
+/// mentions (e.g. a function pointer) alone.
+void CheckCampaignDiscipline(const std::string& path, const FileView& view,
+                             const Config& config,
+                             std::vector<Diagnostic>* diagnostics) {
+  if (!IsBenchPath(path) ||
+      RuleSuppressedForPath(config, "campaign-discipline", path)) {
+    return;
+  }
+  constexpr std::string_view kCall = "RunCampaign";
+  const std::string_view flat = view.flat;
+  std::size_t pos = 0;
+  while ((pos = FindWord(flat, kCall, pos)) != std::string_view::npos) {
+    const std::size_t here = pos;
+    pos += kCall.size();
+    const std::size_t open = SkipSpace(flat, here + kCall.size());
+    if (open >= flat.size() || flat[open] != '(') {
+      continue;
+    }
+    const std::size_t line = view.LineOf(here);
+    if (view.Allowed(line, {"campaign-discipline"})) {
+      continue;
+    }
+    diagnostics->push_back(Diagnostic{
+        path, line, "campaign-discipline",
+        "direct RunCampaign call under bench/: experiments must route "
+        "execution through the registry driver's cached path "
+        "(core::RunCampaignCached) so `vrdrepro run --all` executes "
+        "each unique campaign once, or annotate with "
+        "// vrdlint: allow(campaign-discipline)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: header-hygiene
 // ---------------------------------------------------------------------------
 
@@ -1032,6 +1077,7 @@ std::vector<Diagnostic> LintSourceImpl(
   }
   CheckRngInDispatchLambdas(path, view, config, decls, &diagnostics);
   CheckCatchAllSwallow(path, view, config, &diagnostics);
+  CheckCampaignDiscipline(path, view, config, &diagnostics);
   CheckHeaderHygiene(path, view, config, &diagnostics);
   SortDiagnostics(&diagnostics);
   return diagnostics;

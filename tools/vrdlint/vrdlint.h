@@ -25,6 +25,11 @@
  *                          retry/quarantine contract
  *  - header-hygiene        include guards / #pragma once present and
  *                          no `using namespace` in headers
+ *  - campaign-discipline   direct RunCampaign(...) calls in files under
+ *                          bench/ — experiments must route execution
+ *                          through the registry driver's cached path
+ *                          (core::RunCampaignCached) so `vrdrepro run
+ *                          --all` executes each unique campaign once
  *
  * Suppressions are written in the source, next to the code they
  * excuse: `// vrdlint: allow(<rule-or-token>[, ...])` on the flagged
