@@ -82,8 +82,9 @@ void AnalyzeAblationFaultModel(const core::CampaignResult&,
       }
       bool has_rare = false;
       const auto phys = device.mapper().ToPhysical(candidate->row);
-      for (const auto& cell : raw_engine->RowStateOf(0, phys).cells) {
-        for (const auto& trap : cell.traps) {
+      const auto& state = raw_engine->RowStateOf(0, phys);
+      for (const auto& cell : state.cells) {
+        for (const auto& trap : state.CellTraps(cell)) {
           if (trap.occupancy < 0.01) {
             has_rare = true;
           }

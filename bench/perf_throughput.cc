@@ -9,7 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstring>
+#include <vector>
 
+#include "common/error.h"
 #include "common/thread_pool.h"
 #include "core/campaign.h"
 #include "core/rdt_profiler.h"
@@ -29,6 +32,9 @@ struct ProfilerFixture {
     core::ProfilerConfig seed_pc;
     core::RdtProfiler seeder(*device, seed_pc);
     const auto found = seeder.FindVictim(1, 4000);
+    VRD_FATAL_IF(!found,
+                 "perf fixture: no victim row below the find_victim "
+                 "threshold in rows [1, 4000) of device M1");
     victim = found->row;
     guess = found->rdt_guess;
   }
@@ -131,3 +137,34 @@ void BM_MemsimRequests(benchmark::State& state) {
 BENCHMARK(BM_MemsimRequests);
 
 }  // namespace
+
+/**
+ * Custom main: unless the caller picks an output file, write the JSON
+ * results to BENCH_perf.json in the working directory. That makes
+ * `bench_perf_throughput` self-recording — local runs and the CI perf
+ * job both produce a machine-readable snapshot to diff against the
+ * committed BENCH_pr5.json baseline (see docs/API.md).
+ */
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) {
+      has_out = true;
+    }
+  }
+  std::vector<char*> args(argv, argv + argc);
+  static char out_flag[] = "--benchmark_out=BENCH_perf.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int our_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&our_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(our_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -123,11 +123,10 @@ std::vector<dram::BitFlip> TestHost::ReadAndCompareVictim(
     dram::BankId bank, dram::RowAddr victim_logical,
     dram::DataPattern pattern) {
   device_->Activate(bank, victim_logical);
-  const std::vector<std::uint8_t> data =
-      device_->ReadRow(bank, victim_logical);
+  device_->ReadRow(bank, victim_logical, read_scratch_);
   device_->Precharge(bank);
 
-  return dram::DiffBits(data, dram::VictimByte(pattern));
+  return dram::DiffBits(read_scratch_, dram::VictimByte(pattern));
 }
 
 std::vector<dram::BitFlip> TestHost::TestOnce(dram::BankId bank,

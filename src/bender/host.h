@@ -105,6 +105,9 @@ class TestHost {
 
  private:
   dram::Device* device_;
+  /// Reused by ReadAndCompareVictim: the swept test loop reads the
+  /// same victim row every iteration, so one buffer serves them all.
+  std::vector<std::uint8_t> read_scratch_;
 };
 
 }  // namespace vrddram::bender

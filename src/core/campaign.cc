@@ -77,14 +77,17 @@ std::vector<dram::RowAddr> SelectVulnerableRows(
       if (phys.value == 0 || phys.value >= last) {
         continue;
       }
-      // 10 quick RDT samples, as the paper's selection step does.
+      // 10 quick RDT samples, as the paper's selection step does, all
+      // through one series-scoped context per scanned row.
+      vrd::MeasureContext mctx = engine.MakeMeasureContext(
+          bank, phys, dram::VictimByte(pattern),
+          dram::AggressorByte(pattern), t_on, device.temperature(),
+          device.encoding(), device.Now());
       double sum = 0.0;
       std::size_t hits = 0;
       for (int i = 0; i < 10; ++i) {
-        const double rdt = engine.MinFlipHammerCount(
-            bank, phys, dram::VictimByte(pattern),
-            dram::AggressorByte(pattern), t_on, device.temperature(),
-            device.encoding(), device.Now());
+        const double rdt =
+            engine.MinFlipHammerCount(mctx, device.Now());
         device.Sleep(10 * units::kMillisecond);
         if (rdt > 0.0) {
           sum += rdt;

@@ -75,7 +75,14 @@ std::vector<RowGuardbandOutcome> RunGuardbandStudy(
             (t_on + device->timing().tRP);
 
         // Step 2: hammer repeatedly at guard-banded hammer counts and
-        // union the flipping cells.
+        // union the flipping cells. All trials of all margins query the
+        // same (row, pattern, temperature), so one MeasureContext and
+        // one flip-point scratch buffer serve the whole sweep.
+        vrd::MeasureContext mctx = engine->MakeMeasureContext(
+            /*bank=*/0, phys, dram::VictimByte(pattern),
+            dram::AggressorByte(pattern), t_on, config.temperature,
+            device->encoding(), device->Now());
+        std::vector<vrd::TrapFaultEngine::CellFlipPoint> points;
         for (const double margin : config.margins) {
           MarginOutcome per;
           per.margin = margin;
@@ -84,11 +91,8 @@ std::vector<RowGuardbandOutcome> RunGuardbandStudy(
           std::set<std::uint32_t> unique_bits;
           for (std::size_t trial = 0; trial < config.trials; ++trial) {
             bool any = false;
-            for (const auto& point : engine->PerCellFlipHammerCounts(
-                     /*bank=*/0, phys, dram::VictimByte(pattern),
-                     dram::AggressorByte(pattern), t_on,
-                     config.temperature, device->encoding(),
-                     device->Now())) {
+            engine->PerCellFlipHammerCounts(mctx, device->Now(), points);
+            for (const auto& point : points) {
               if (point.hammer_count >= 0.0 &&
                   point.hammer_count <=
                       static_cast<double>(per.hammer_count)) {

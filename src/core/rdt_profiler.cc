@@ -59,7 +59,7 @@ Tick RdtProfiler::IterationTime(std::uint64_t hc) const {
 }
 
 RdtProfiler::SeriesContext RdtProfiler::MakeSeriesContext(
-    dram::RowAddr victim, std::uint64_t rdt_guess) const {
+    dram::RowAddr victim, std::uint64_t rdt_guess) {
   SeriesContext ctx;
   ctx.grid = GridFor(rdt_guess);
   ctx.t_on = EffectiveTOn();
@@ -67,6 +67,10 @@ RdtProfiler::SeriesContext RdtProfiler::MakeSeriesContext(
     ctx.phys = device_->mapper().ToPhysical(victim);
     ctx.fixed_per_step = IterationTime(0);
     ctx.per_hammer = 2 * (ctx.t_on + device_->timing().tRP);
+    ctx.measure = engine_->MakeMeasureContext(
+        config_.bank, ctx.phys, dram::VictimByte(config_.pattern),
+        dram::AggressorByte(config_.pattern), ctx.t_on,
+        device_->temperature(), device_->encoding(), device_->Now());
   }
   return ctx;
 }
@@ -88,13 +92,11 @@ std::int64_t RdtProfiler::MeasureOnceSwept(dram::RowAddr victim,
   return kNoFlip;
 }
 
-std::int64_t RdtProfiler::MeasureOnceAnalytic(const SeriesContext& ctx) {
+std::int64_t RdtProfiler::MeasureOnceAnalytic(SeriesContext& ctx) {
   VRD_ASSERT(engine_ != nullptr);
   const Grid& grid = ctx.grid;
-  const double rdt_true = engine_->MinFlipHammerCount(
-      config_.bank, ctx.phys, dram::VictimByte(config_.pattern),
-      dram::AggressorByte(config_.pattern), ctx.t_on,
-      device_->temperature(), device_->encoding(), device_->Now());
+  const double rdt_true =
+      engine_->MinFlipHammerCount(ctx.measure, device_->Now());
 
   // First grid value whose hammer count reaches the flipping count.
   std::int64_t observed = kNoFlip;
@@ -131,7 +133,7 @@ std::int64_t RdtProfiler::MeasureOnceAnalytic(const SeriesContext& ctx) {
   return observed;
 }
 
-std::int64_t RdtProfiler::MeasureOnceWith(const SeriesContext& ctx,
+std::int64_t RdtProfiler::MeasureOnceWith(SeriesContext& ctx,
                                           dram::RowAddr victim) {
   const std::int64_t rdt = (config_.mode == SweepMode::kAnalytic)
                                ? MeasureOnceAnalytic(ctx)
@@ -146,16 +148,25 @@ std::int64_t RdtProfiler::MeasureOnceWith(const SeriesContext& ctx,
 
 std::int64_t RdtProfiler::MeasureOnce(dram::RowAddr victim,
                                       std::uint64_t rdt_guess) {
-  return MeasureOnceWith(MakeSeriesContext(victim, rdt_guess), victim);
+  if (!once_cache_.valid || once_cache_.victim != victim ||
+      once_cache_.rdt_guess != rdt_guess ||
+      once_cache_.temperature != device_->temperature()) {
+    once_cache_.ctx = MakeSeriesContext(victim, rdt_guess);
+    once_cache_.victim = victim;
+    once_cache_.rdt_guess = rdt_guess;
+    once_cache_.temperature = device_->temperature();
+    once_cache_.valid = true;
+  }
+  return MeasureOnceWith(once_cache_.ctx, victim);
 }
 
 std::vector<std::int64_t> RdtProfiler::MeasureSeries(
     dram::RowAddr victim, std::uint64_t rdt_guess, std::size_t n) {
   std::vector<std::int64_t> series;
   series.reserve(n);
-  // The grid, row mapping, and timing constants depend only on
-  // (victim, rdt_guess), which are fixed for the series.
-  const SeriesContext ctx = MakeSeriesContext(victim, rdt_guess);
+  // The grid, row mapping, timing constants, and engine-side caches
+  // depend only on (victim, rdt_guess) and the fixed test setup.
+  SeriesContext ctx = MakeSeriesContext(victim, rdt_guess);
   for (std::size_t i = 0; i < n; ++i) {
     series.push_back(MeasureOnceWith(ctx, victim));
   }
@@ -198,7 +209,7 @@ std::optional<std::uint64_t> RdtProfiler::GuessRdt(dram::RowAddr victim) {
   // repeated measurements.
   double sum = 0.0;
   std::size_t hits = 0;
-  const SeriesContext ctx = MakeSeriesContext(victim, rough);
+  SeriesContext ctx = MakeSeriesContext(victim, rough);
   for (std::size_t i = 0; i < config_.guess_measurements; ++i) {
     const std::int64_t rdt = MeasureOnceWith(ctx, victim);
     if (rdt != kNoFlip) {

@@ -101,7 +101,8 @@ void Device::MaterializeAndRestore(BankId bank, PhysicalRow row) {
   ctx.encoding = &encoding_;
   ctx.temperature = temperature_;
   ctx.now = now_;
-  for (const BitFlip& flip : model_->Evaluate(ctx)) {
+  model_->Evaluate(ctx, flip_scratch_);
+  for (const BitFlip& flip : flip_scratch_) {
     VRD_ASSERT(flip.byte_offset < store.data.size());
     store.data[flip.byte_offset] ^=
         static_cast<std::uint8_t>(1u << flip.bit);
@@ -292,6 +293,13 @@ void Device::Write(BankId bank, RowAddr logical_row, ColAddr col,
 
 std::vector<std::uint8_t> Device::ReadRow(BankId bank,
                                           RowAddr logical_row) {
+  std::vector<std::uint8_t> out;
+  ReadRow(bank, logical_row, out);
+  return out;
+}
+
+void Device::ReadRow(BankId bank, RowAddr logical_row,
+                     std::vector<std::uint8_t>& out) {
   VRD_FATAL_IF(!config_.org.ValidBank(bank), "bank out of range");
   const PhysicalRow phys = mapper_.ToPhysical(logical_row);
   VRD_FATAL_IF(banks_[bank].state() != BankState::kActive ||
@@ -309,7 +317,7 @@ std::vector<std::uint8_t> Device::ReadRow(BankId bank,
   now_ = data_end;
 
   RowStore& store = StoreOf(bank, phys);
-  std::vector<std::uint8_t> out = store.data;
+  out.assign(store.data.begin(), store.data.end());
   if (ecc_enabled_) {
     // On-die SEC: decode each 64-bit word against the stored parity;
     // single-bit (e.g. read-disturbance) errors are corrected on the
@@ -323,7 +331,6 @@ std::vector<std::uint8_t> Device::ReadRow(BankId bank,
     // value. The store itself is untouched.
     out[0] |= 0x01;
   }
-  return out;
 }
 
 void Device::Refresh() {
@@ -462,7 +469,14 @@ void Device::BulkInitializeRow(BankId bank, RowAddr logical_row,
   RowStore& store = StoreOf(bank, phys);
   std::fill(store.data.begin(), store.data.end(), fill);
   if (config_.has_on_die_ecc) {
-    store.parity = ecc::OnDieSec::EncodeParity(store.data);
+    // A uniformly filled row's parity depends only on (fill byte, row
+    // size); memoize it so per-iteration pattern re-initialization
+    // stops re-encoding identical data.
+    std::vector<std::uint8_t>& memo = fill_parity_[fill];
+    if (memo.empty()) {
+      memo = ecc::OnDieSec::EncodeParity(store.data);
+    }
+    store.parity = memo;
   }
 
   now_ = pre_at;

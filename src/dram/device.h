@@ -14,6 +14,7 @@
 #ifndef VRDDRAM_DRAM_DEVICE_H
 #define VRDDRAM_DRAM_DEVICE_H
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -118,6 +119,11 @@ class Device {
              std::span<const std::uint8_t> bytes);
   /// Read the entire open row (full burst train).
   std::vector<std::uint8_t> ReadRow(BankId bank, RowAddr logical_row);
+  /// ReadRow into caller-owned scratch (replaced, not appended): the
+  /// swept test loop reads the same victim row per iteration, so the
+  /// buffer's capacity is reused instead of reallocated per read.
+  void ReadRow(BankId bank, RowAddr logical_row,
+               std::vector<std::uint8_t>& out);
   /// One rank-level REF command; refreshes the next stripe of rows in
   /// every bank and runs the TRR engine if present.
   void Refresh();
@@ -190,6 +196,12 @@ class Device {
 
   std::vector<Bank> banks_;
   std::unordered_map<std::uint64_t, RowStore> rows_;
+  /// Scratch reused by MaterializeAndRestore for model flip queries.
+  std::vector<BitFlip> flip_scratch_;
+  /// On-die-ECC parity of a row uniformly filled with each byte value;
+  /// row size is fixed per device, so BulkInitializeRow's re-encoding
+  /// of identical data reduces to one lookup per fill byte.
+  std::array<std::vector<std::uint8_t>, 256> fill_parity_;
   Tick now_ = 0;
   Celsius temperature_ = 50.0;
   bool ecc_enabled_ = false;

@@ -64,8 +64,21 @@ class ReadDisturbanceModel {
   /// The row's charge was restored; clear its accumulated dose.
   virtual void OnRestore(BankId bank, PhysicalRow row, Tick now) = 0;
 
-  /// Bits of the victim row that have flipped since the last restore.
-  virtual std::vector<BitFlip> Evaluate(const VictimContext& ctx) = 0;
+  /**
+   * Bits of the victim row that have flipped since the last restore,
+   * written into caller-owned scratch (cleared first). The out-param
+   * keeps the device's materialization path allocation-free: the
+   * device reuses one buffer across every row it opens.
+   */
+  virtual void Evaluate(const VictimContext& ctx,
+                        std::vector<BitFlip>& out) = 0;
+
+  /// Convenience wrapper for tests and one-off callers.
+  std::vector<BitFlip> EvaluateToVector(const VictimContext& ctx) {
+    std::vector<BitFlip> out;
+    Evaluate(ctx, out);
+    return out;
+  }
 };
 
 /// Engine that never flips anything (default for plain devices).
@@ -74,8 +87,9 @@ class NullDisturbanceModel final : public ReadDisturbanceModel {
   void OnActivations(BankId, PhysicalRow, std::uint64_t, Tick, Tick,
                      Celsius, std::span<const std::uint8_t>) override {}
   void OnRestore(BankId, PhysicalRow, Tick) override {}
-  std::vector<BitFlip> Evaluate(const VictimContext&) override {
-    return {};
+  void Evaluate(const VictimContext&,
+                std::vector<BitFlip>& out) override {
+    out.clear();
   }
 };
 

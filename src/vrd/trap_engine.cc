@@ -1,6 +1,8 @@
 #include "vrd/trap_engine.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.h"
 #include "dram/cell_encoding.h"
@@ -9,6 +11,12 @@ namespace vrddram::vrd {
 
 std::size_t SamplePoisson(Rng& rng, double lambda) {
   VRD_FATAL_IF(lambda < 0.0, "Poisson rate must be non-negative");
+  // Beyond ~50 the exp(-lambda) limit underflows towards 0 and the
+  // product loop degenerates into thousands of iterations per sample.
+  VRD_FATAL_IF(lambda > 50.0,
+               "Poisson rate " + std::to_string(lambda) +
+                   " too large for Knuth sampling; check the fault "
+                   "profile's weak_cells_mean and fast_trap_mean");
   // Knuth's product-of-uniforms method; fine for the small lambdas the
   // fault model uses (< ~10).
   const double limit = std::exp(-lambda);
@@ -69,6 +77,7 @@ TrapFaultEngine::RowState TrapFaultEngine::BuildRowState(
       j = rng.NextLognormal(0.0, profile_.pattern_jitter_sigma);
     }
 
+    cell.trap_begin = static_cast<std::uint32_t>(state.traps.size());
     const std::size_t fast_traps =
         SamplePoisson(rng, profile_.fast_trap_mean);
     for (std::size_t t = 0; t < fast_traps; ++t) {
@@ -79,7 +88,7 @@ TrapFaultEngine::RowState TrapFaultEngine::BuildRowState(
       trap.weight = profile_.fast_weight_med * rng.NextLognormal(0.0, 0.25);
       trap.occupied = rng.NextBernoulli(trap.occupancy);
       trap.last_sample = now;
-      cell.traps.push_back(trap);
+      state.traps.push_back(trap);
     }
     if (rng.NextBernoulli(profile_.rare_trap_prob)) {
       Trap trap;
@@ -93,7 +102,7 @@ TrapFaultEngine::RowState TrapFaultEngine::BuildRowState(
       trap.weight = profile_.rare_weight_med * rng.NextLognormal(0.0, 0.4);
       trap.occupied = rng.NextBernoulli(trap.occupancy);
       trap.last_sample = now;
-      cell.traps.push_back(trap);
+      state.traps.push_back(trap);
     }
     if (rng.NextBernoulli(profile_.heavy_trap_prob)) {
       Trap trap;
@@ -102,7 +111,7 @@ TrapFaultEngine::RowState TrapFaultEngine::BuildRowState(
       trap.weight = profile_.heavy_weight_med * rng.NextLognormal(0.0, 0.4);
       trap.occupied = rng.NextBernoulli(trap.occupancy);
       trap.last_sample = now;
-      cell.traps.push_back(trap);
+      state.traps.push_back(trap);
     }
     if (rng.NextBernoulli(profile_.bimodal_trap_prob)) {
       Trap trap;
@@ -113,8 +122,10 @@ TrapFaultEngine::RowState TrapFaultEngine::BuildRowState(
       trap.weight = profile_.bimodal_weight * (0.8 + 0.4 * rng.NextDouble());
       trap.occupied = rng.NextBernoulli(trap.occupancy);
       trap.last_sample = now;
-      cell.traps.push_back(trap);
+      state.traps.push_back(trap);
     }
+    cell.trap_count =
+        static_cast<std::uint32_t>(state.traps.size()) - cell.trap_begin;
     state.cells.push_back(std::move(cell));
   }
   return state;
@@ -217,7 +228,7 @@ double TrapFaultEngine::SampleTrapBoost(RowState& state, WeakCell& cell,
   const double q10_scale =
       std::pow(profile_.trap_rate_q10, (temperature - 50.0) / 10.0);
   double boost = 0.0;
-  for (Trap& trap : cell.traps) {
+  for (Trap& trap : state.CellTraps(cell)) {
     const double dt =
         units::ToSeconds(std::max<Tick>(0, now - trap.last_sample));
     const double rate = trap.rate_hz * q10_scale;
@@ -294,12 +305,12 @@ double TrapFaultEngine::MinFlipHammerCount(
   return min_hc;
 }
 
-std::vector<dram::BitFlip> TrapFaultEngine::Evaluate(
-    const dram::VictimContext& ctx) {
-  std::vector<dram::BitFlip> flips;
+void TrapFaultEngine::Evaluate(const dram::VictimContext& ctx,
+                               std::vector<dram::BitFlip>& out) {
+  out.clear();
   const auto it = states_.find(Key(ctx.bank, ctx.row));
   if (it == states_.end()) {
-    return flips;  // never disturbed
+    return;  // never disturbed
   }
   RowState& state = it->second;
   VRD_ASSERT(ctx.encoding != nullptr);
@@ -338,10 +349,146 @@ std::vector<dram::BitFlip> TrapFaultEngine::Evaluate(
                         0.0, cell.noise_sigma));
 
     if (exposure >= cell.threshold * noise) {
-      flips.push_back(dram::BitFlip{byte, bit});
+      out.push_back(dram::BitFlip{byte, bit});
     }
   }
-  return flips;
+}
+
+const double* MeasureContext::DecayFor(Tick dt) {
+  for (DecayEntry& entry : memo_) {
+    if (entry.dt == dt) {
+      return entry.decay.data();
+    }
+  }
+  // Miss: compute exp(-rate*dt) for every trap of the row, exactly as
+  // the per-call path would. The analytic sweep revisits a bounded set
+  // of durations, so the memo saturates after a handful of entries;
+  // round-robin eviction bounds memory without affecting values.
+  constexpr std::size_t kMemoCapacity = 16;
+  DecayEntry* slot;
+  if (memo_.size() < kMemoCapacity) {
+    memo_.emplace_back();
+    slot = &memo_.back();
+  } else {
+    slot = &memo_[memo_next_evict_];
+    memo_next_evict_ = (memo_next_evict_ + 1) % kMemoCapacity;
+  }
+  slot->dt = dt;
+  slot->decay.resize(rate_scaled_.size());
+  const double seconds = units::ToSeconds(dt);
+  for (std::size_t i = 0; i < rate_scaled_.size(); ++i) {
+    slot->decay[i] = std::exp(-rate_scaled_[i] * seconds);
+  }
+  return slot->decay.data();
+}
+
+MeasureContext TrapFaultEngine::MakeMeasureContext(
+    dram::BankId bank, dram::PhysicalRow victim, std::uint8_t victim_byte,
+    std::uint8_t aggressor_byte, Tick t_on, Celsius temperature,
+    const dram::CellEncodingLayout& encoding, Tick now) {
+  MeasureContext ctx;
+  ctx.state_ = &MutableRowState(bank, victim, now);
+  const RowState& state = *ctx.state_;
+  const double press = profile_.PressFactor(t_on);
+  const double q10_scale =
+      std::pow(profile_.trap_rate_q10, (temperature - 50.0) / 10.0);
+
+  ctx.cells_.reserve(state.cells.size());
+  for (const WeakCell& cell : state.cells) {
+    const std::uint8_t bit_in_byte = cell.bit_index % 8;
+    const bool victim_bit = (victim_byte >> bit_in_byte) & 1;
+    const bool aggr_bit = (aggressor_byte >> bit_in_byte) & 1;
+
+    // The fixed part of the per-hammer dose, accumulated in exactly
+    // the association order of the per-call path so the product is
+    // bit-identical (the trailing 1+boost factor stays per-sample).
+    double per_hammer =
+        press * cell.aggr_jitter[aggr_bit ? 1 : 0] *
+        (aggr_bit != victim_bit ? 1.0 : profile_.same_bit_factor);
+    per_hammer *= cell.victim_jitter[victim_bit ? 1 : 0];
+    if (!encoding.IsCharged(victim, victim_bit)) {
+      per_hammer *= profile_.discharged_factor;
+    }
+    per_hammer *= std::exp(cell.temp_beta * (temperature - 50.0));
+
+    MeasureContext::CellPre pre;
+    pre.bit_index = cell.bit_index;
+    pre.trap_begin = cell.trap_begin;
+    pre.trap_count = cell.trap_count;
+    pre.per_hammer_fixed = per_hammer;
+    pre.threshold = cell.threshold;
+    pre.noise_sigma = cell.noise_sigma;
+    ctx.cells_.push_back(pre);
+  }
+
+  ctx.rate_scaled_.reserve(state.traps.size());
+  for (const Trap& trap : state.traps) {
+    ctx.rate_scaled_.push_back(trap.rate_hz * q10_scale);
+  }
+  return ctx;
+}
+
+template <typename Sink>
+void TrapFaultEngine::ForEachFlipPoint(MeasureContext& ctx, Tick now,
+                                       Sink&& sink) {
+  RowState& state = *ctx.state_;
+  Trap* const traps = state.traps.data();
+  Rng& rng = state.dynamics_rng;
+  // Every sampling path advances all traps of a row together, so the
+  // row shares one sampling instant and one decay factor per trap; a
+  // stale trap (impossible today) falls back to a direct exp.
+  const Tick base = state.traps.empty() ? now : traps[0].last_sample;
+  const double* const decay =
+      ctx.DecayFor(std::max<Tick>(0, now - base));
+
+  for (const MeasureContext::CellPre& cell : ctx.cells_) {
+    double boost = 0.0;
+    const std::uint32_t end = cell.trap_begin + cell.trap_count;
+    for (std::uint32_t i = cell.trap_begin; i < end; ++i) {
+      Trap& trap = traps[i];
+      double d = decay[i];
+      if (trap.last_sample != base) [[unlikely]] {
+        const double dt =
+            units::ToSeconds(std::max<Tick>(0, now - trap.last_sample));
+        d = std::exp(-ctx.rate_scaled_[i] * dt);
+      }
+      const double prev = static_cast<double>(trap.occupied);
+      const double p_occupied =
+          trap.occupancy + (prev - trap.occupancy) * d;
+      const bool occupied = rng.NextBernoulli(p_occupied);
+      trap.occupied = occupied;
+      trap.last_sample = now;
+      // weight*1.0 and +0.0 are exact, so this matches the per-call
+      // path's `if (occupied) boost += weight` bit for bit without its
+      // data-dependent branch.
+      boost += trap.weight * static_cast<double>(occupied);
+    }
+    const double per_hammer = cell.per_hammer_fixed * (1.0 + boost);
+    const double noise = std::max(
+        0.05, 1.0 + rng.NextGaussian(0.0, cell.noise_sigma));
+    sink(cell.bit_index, (per_hammer > 0.0)
+                             ? cell.threshold * noise / per_hammer
+                             : -1.0);
+  }
+}
+
+double TrapFaultEngine::MinFlipHammerCount(MeasureContext& ctx, Tick now) {
+  double min_hc = -1.0;
+  ForEachFlipPoint(ctx, now, [&](std::uint32_t, double hc) {
+    if (hc >= 0.0 && (min_hc < 0.0 || hc < min_hc)) {
+      min_hc = hc;
+    }
+  });
+  return min_hc;
+}
+
+void TrapFaultEngine::PerCellFlipHammerCounts(
+    MeasureContext& ctx, Tick now, std::vector<CellFlipPoint>& out) {
+  out.clear();
+  out.reserve(ctx.cells_.size());
+  ForEachFlipPoint(ctx, now, [&](std::uint32_t bit_index, double hc) {
+    out.push_back(CellFlipPoint{bit_index, hc});
+  });
 }
 
 }  // namespace vrddram::vrd

@@ -22,6 +22,7 @@
 #define VRDDRAM_VRD_TRAP_ENGINE_H
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -34,7 +35,11 @@
 namespace vrddram::vrd {
 
 /// Sample a Poisson variate (Knuth's method; lambda is small here).
+/// Rates above 50 are rejected: exp(-lambda) underflows and the loop
+/// degenerates (see the profile's weak_cells_mean / fast_trap_mean).
 std::size_t SamplePoisson(Rng& rng, double lambda);
+
+class MeasureContext;
 
 class TrapFaultEngine final : public dram::ReadDisturbanceModel {
  public:
@@ -48,8 +53,8 @@ class TrapFaultEngine final : public dram::ReadDisturbanceModel {
                      std::span<const std::uint8_t> aggressor_data) override;
   void OnRestore(dram::BankId bank, dram::PhysicalRow row,
                  Tick now) override;
-  std::vector<dram::BitFlip> Evaluate(
-      const dram::VictimContext& ctx) override;
+  void Evaluate(const dram::VictimContext& ctx,
+                std::vector<dram::BitFlip>& out) override;
 
   // -- introspection (tests, analyses) --------------------------------------
   /// One charge trap attached to a weak cell.
@@ -71,13 +76,26 @@ class TrapFaultEngine final : public dram::ReadDisturbanceModel {
     double aggr_jitter[2] = {1.0, 1.0};    ///< by aggressor bit value
     double victim_jitter[2] = {1.0, 1.0};  ///< by victim bit value
     double dose[2] = {0.0, 0.0};           ///< accumulated, by aggr bit
-    std::vector<Trap> traps;
+    /// The cell's traps live in RowState::traps (one contiguous array
+    /// per row, grouped by cell): [trap_begin, trap_begin+trap_count).
+    std::uint32_t trap_begin = 0;
+    std::uint32_t trap_count = 0;
   };
 
   struct RowState {
     std::vector<WeakCell> cells;
+    /// All traps of the row, contiguous, grouped by cell, so the
+    /// measurement kernel walks linear memory.
+    std::vector<Trap> traps;
     Rng dynamics_rng{0};
     Tick last_restore = 0;
+
+    std::span<Trap> CellTraps(const WeakCell& cell) {
+      return {traps.data() + cell.trap_begin, cell.trap_count};
+    }
+    std::span<const Trap> CellTraps(const WeakCell& cell) const {
+      return {traps.data() + cell.trap_begin, cell.trap_count};
+    }
   };
 
   /// Weak-cell state of a row (creates it deterministically if new).
@@ -120,11 +138,46 @@ class TrapFaultEngine final : public dram::ReadDisturbanceModel {
       Celsius temperature, const dram::CellEncodingLayout& encoding,
       Tick now);
 
+  // -- series-scoped fast path ----------------------------------------------
+  /**
+   * Build a MeasureContext for a series of measurements of `victim`
+   * under a fixed (pattern, t_on, temperature, encoding) setup: pins
+   * the row state (no hash lookup per call) and precomputes every
+   * per-cell multiplier that is invariant across the series. Draws
+   * nothing from the row's dynamics_rng, so interleaving context
+   * construction with measurements does not perturb any sequence.
+   */
+  MeasureContext MakeMeasureContext(
+      dram::BankId bank, dram::PhysicalRow victim,
+      std::uint8_t victim_byte, std::uint8_t aggressor_byte, Tick t_on,
+      Celsius temperature, const dram::CellEncodingLayout& encoding,
+      Tick now);
+
+  /**
+   * Context-based MinFlipHammerCount: bit-identical results and
+   * dynamics_rng consumption to the per-call overload above (a tier-1
+   * regression test asserts this across the chip catalog), without the
+   * per-call state lookup, invariant recomputation, or allocation.
+   */
+  double MinFlipHammerCount(MeasureContext& ctx, Tick now);
+
+  /// Context-based PerCellFlipHammerCounts writing into caller-owned
+  /// scratch (cleared first); same bit-identity contract as above.
+  void PerCellFlipHammerCounts(MeasureContext& ctx, Tick now,
+                               std::vector<CellFlipPoint>& out);
+
   const FaultProfile& profile() const { return profile_; }
 
  private:
+  friend class MeasureContext;
+
   RowState& MutableRowState(dram::BankId bank, dram::PhysicalRow row,
                             Tick now);
+
+  /// Shared context kernel: advance every trap of the pinned row to
+  /// `now` and emit (bit_index, flip hammer count) per cell.
+  template <typename Sink>
+  void ForEachFlipPoint(MeasureContext& ctx, Tick now, Sink&& sink);
 
   /// Advance all traps of `cell` to `now` and return the summed weight
   /// of the occupied ones.
@@ -147,6 +200,61 @@ class TrapFaultEngine final : public dram::ReadDisturbanceModel {
   std::uint64_t device_seed_;
   dram::Organization org_;
   std::unordered_map<std::uint64_t, RowState> states_;
+};
+
+/**
+ * Series-scoped cache for the hot measurement kernel (DESIGN.md §9).
+ *
+ * Everything about one (victim row, pattern, t_on, temperature,
+ * encoding) series that is invariant across its measurements:
+ *  - the pinned RowState pointer (stable: states_ never erases),
+ *  - per-cell fixed per-hammer multipliers — pattern jitters,
+ *    same-bit/discharged selection, and the temperature exponential,
+ *    accumulated in exactly the per-call path's association order,
+ *  - per-trap Q10-scaled transition rates, and
+ *  - an exact memo of exp(-rate*dt) keyed on the tick delta between
+ *    measurements (the analytic sweep revisits a handful of distinct
+ *    durations, so almost every measurement reuses a cached decay).
+ *
+ * Construction draws nothing from the dynamics RNG; the memo caches
+ * only values std::exp would return for identical arguments. Both
+ * together are what keep the context path bit-identical to the legacy
+ * per-call path.
+ */
+class MeasureContext {
+ public:
+  MeasureContext() = default;
+
+  /// Number of weak cells of the pinned row (introspection).
+  std::size_t cell_count() const { return cells_.size(); }
+
+ private:
+  friend class TrapFaultEngine;
+
+  struct CellPre {
+    std::uint32_t bit_index = 0;
+    std::uint32_t trap_begin = 0;
+    std::uint32_t trap_count = 0;
+    /// press * jitters * same-bit/discharged factors * temp exp: the
+    /// full per-hammer dose except the trap-boost term.
+    double per_hammer_fixed = 0.0;
+    double threshold = 0.0;
+    double noise_sigma = 0.0;
+  };
+
+  struct DecayEntry {
+    Tick dt = -1;
+    std::vector<double> decay;  ///< per row trap index
+  };
+
+  /// exp(-rate_scaled * ToSeconds(dt)) per trap, memoized on dt.
+  const double* DecayFor(Tick dt);
+
+  TrapFaultEngine::RowState* state_ = nullptr;
+  std::vector<CellPre> cells_;
+  std::vector<double> rate_scaled_;  ///< rate_hz * q10_scale, per trap
+  std::vector<DecayEntry> memo_;
+  std::size_t memo_next_evict_ = 0;
 };
 
 }  // namespace vrddram::vrd

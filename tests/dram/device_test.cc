@@ -28,13 +28,14 @@ class FakeModel final : public ReadDisturbanceModel {
   void OnRestore(BankId bank, PhysicalRow row, Tick) override {
     restores.push_back({bank, row, 1, 0});
   }
-  std::vector<BitFlip> Evaluate(const VictimContext& ctx) override {
+  void Evaluate(const VictimContext& ctx,
+                std::vector<BitFlip>& out) override {
     ++evaluations;
+    out.clear();
     if (flip_next && ctx.row == flip_row) {
       flip_next = false;
-      return {pending_flip};
+      out.push_back(pending_flip);
     }
-    return {};
   }
 
   std::vector<ActRecord> activations;

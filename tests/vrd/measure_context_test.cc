@@ -1,0 +1,186 @@
+// The series-scoped measurement fast path (DESIGN.md §9): the
+// MeasureContext kernel must be bit-identical to the legacy per-call
+// path, trap relaxation must follow the Q10 temperature law, and
+// SamplePoisson must reject rates its Knuth loop cannot handle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "dram/cell_encoding.h"
+#include "vrd/chip_catalog.h"
+#include "vrd/trap_engine.h"
+
+namespace vrddram::vrd {
+namespace {
+
+dram::Organization SmallOrg() {
+  dram::Organization org;
+  org.num_banks = 1;
+  org.rows_per_bank = 1024;
+  org.row_bytes = 1024;
+  return org;
+}
+
+TEST(SamplePoissonTest, RejectsDegenerateRates) {
+  Rng rng(1);
+  // exp(-lambda) underflows the Knuth loop's acceptance product well
+  // before DBL_MIN; the engine caps supported rates at 50.
+  EXPECT_THROW(SamplePoisson(rng, 50.1), FatalError);
+  EXPECT_THROW(SamplePoisson(rng, 1e6), FatalError);
+  EXPECT_NO_THROW(SamplePoisson(rng, 50.0));
+  EXPECT_NO_THROW(SamplePoisson(rng, 0.0));
+}
+
+/**
+ * Occupancy relaxation toward the steady state follows the Q10 law.
+ *
+ * For a single two-state trap sampled on a fixed grid dt, the chain
+ *   p = occ + (prev - occ) * exp(-rate * q10^((T-50)/10) * dt)
+ * has stationary occupancy `occ` and a per-step state-change
+ * probability of 2*occ*(1-occ)*(1 - decay(T)). With measurement noise
+ * off, every state change moves the analytic threshold, so the
+ * observed change fraction measures the relaxation rate directly -
+ * at both temperatures it must match the closed form built from the
+ * trap's own parameters.
+ */
+TEST(TrapTemperatureScalingTest, RelaxationMatchesQ10ClosedForm) {
+  FaultProfile profile;
+  profile.median_rdt = 10000.0;
+  profile.weak_cells_mean = 4.0;
+  profile.fast_trap_mean = 1.0;
+  profile.rare_trap_prob = 0.0;
+  profile.heavy_trap_prob = 0.0;
+  profile.measurement_noise_sigma = 0.0;
+  profile.fast_rate_lo_hz = 5.0;
+  profile.fast_rate_hi_hz = 10.0;
+  profile.trap_rate_q10 = 2.0;
+  profile.t_ras = 32 * units::kNanosecond;
+
+  const Tick dt = 20 * units::kMillisecond;
+  const int n = 6000;
+
+  auto observed_change_fraction = [&](Celsius temp, double* predicted) {
+    TrapFaultEngine engine(profile, 3, SmallOrg());
+    const dram::CellEncodingLayout encoding(1, 0.0);
+    // A row whose one weak cell owns exactly one trap, so the
+    // threshold is a two-valued function of that trap's state.
+    dram::PhysicalRow row{0};
+    const TrapFaultEngine::Trap* trap = nullptr;
+    for (dram::RowAddr r = 1; r < 1000; ++r) {
+      const auto& state = engine.RowStateOf(0, dram::PhysicalRow{r});
+      if (state.cells.size() == 1 && state.cells[0].trap_count == 1) {
+        row = dram::PhysicalRow{r};
+        trap = &state.traps[state.cells[0].trap_begin];
+        break;
+      }
+    }
+    if (trap == nullptr) {
+      ADD_FAILURE() << "no single-trap row below 1000";
+      return 0.0;
+    }
+    const double q10_scale =
+        std::pow(profile.trap_rate_q10, (temp - 50.0) / 10.0);
+    const double decay =
+        std::exp(-trap->rate_hz * q10_scale * units::ToSeconds(dt));
+    *predicted = 2.0 * trap->occupancy * (1.0 - trap->occupancy) *
+                 (1.0 - decay);
+
+    double prev = -1.0;
+    int changes = 0;
+    for (int i = 0; i < n; ++i) {
+      const double s = engine.MinFlipHammerCount(
+          0, row, 0xFF, 0x00, profile.t_ras, temp, encoding,
+          static_cast<Tick>(i) * dt);
+      if (prev >= 0.0 && s != prev) {
+        ++changes;
+      }
+      prev = s;
+    }
+    return static_cast<double>(changes) / n;
+  };
+
+  double predicted_cold = 0.0;
+  double predicted_hot = 0.0;
+  const double cold = observed_change_fraction(50.0, &predicted_cold);
+  const double hot = observed_change_fraction(80.0, &predicted_hot);
+
+  EXPECT_NEAR(cold, predicted_cold, 0.2 * predicted_cold + 0.01);
+  EXPECT_NEAR(hot, predicted_hot, 0.2 * predicted_hot + 0.01);
+  // Q10 = 2 over 30 C octuples the rate, so the hot chain relaxes
+  // measurably faster.
+  EXPECT_GT(predicted_hot, predicted_cold);
+  EXPECT_GT(hot, cold);
+}
+
+/**
+ * The regression test backing the DESIGN.md §9 contract: on one device
+ * per manufacturer plus an HBM2 chip, a MeasureContext-based series is
+ * bit-identical - thresholds, per-cell flip points, and dynamics-RNG
+ * consumption - to the legacy per-call path issuing the same queries
+ * at the same ticks.
+ */
+TEST(MeasureContextTest, BitIdenticalToLegacyPathAcrossCatalog) {
+  for (const char* name : {"H1", "M1", "S2", "Chip0"}) {
+    SCOPED_TRACE(name);
+    const TestedChip chip = MakeTestedChip(name);
+    TrapFaultEngine legacy(chip.fault, chip.device.seed,
+                           chip.device.org);
+    TrapFaultEngine ctxeng(chip.fault, chip.device.seed,
+                           chip.device.org);
+    const dram::CellEncodingLayout encoding(chip.device.seed,
+                                            chip.device.anti_cell_fraction);
+    const Tick t_on = chip.device.timing.tRAS;
+    const Celsius temp = 65.0;
+
+    // First row with at least one weak cell; built identically (same
+    // manufacturing draws) in both engines.
+    dram::PhysicalRow row{0};
+    for (dram::RowAddr r = 1; r < 4000; ++r) {
+      if (!legacy.RowStateOf(0, dram::PhysicalRow{r}).cells.empty()) {
+        row = dram::PhysicalRow{r};
+        break;
+      }
+    }
+    ASSERT_NE(row.value, 0u);
+    ASSERT_FALSE(ctxeng.RowStateOf(0, row).cells.empty());
+
+    MeasureContext ctx = ctxeng.MakeMeasureContext(
+        0, row, 0x55, 0xAA, t_on, temp, encoding, 0);
+    EXPECT_EQ(ctx.cell_count(),
+              legacy.RowStateOf(0, row).cells.size());
+
+    // Irregular tick grid: revisits a handful of deltas (exercising
+    // the decay memo) and includes fresh ones (exercising misses).
+    const Tick deltas[] = {20 * units::kMillisecond,
+                           20 * units::kMillisecond,
+                           7 * units::kMillisecond,
+                           1 * units::kSecond,
+                           20 * units::kMillisecond,
+                           333 * units::kMicrosecond};
+    Tick now = 0;
+    std::vector<TrapFaultEngine::CellFlipPoint> scratch;
+    for (int i = 0; i < 240; ++i) {
+      now += deltas[i % 6];
+      if (i % 3 == 2) {
+        const auto want = legacy.PerCellFlipHammerCounts(
+            0, row, 0x55, 0xAA, t_on, temp, encoding, now);
+        ctxeng.PerCellFlipHammerCounts(ctx, now, scratch);
+        ASSERT_EQ(want.size(), scratch.size());
+        for (std::size_t c = 0; c < want.size(); ++c) {
+          EXPECT_EQ(want[c].bit_index, scratch[c].bit_index);
+          EXPECT_EQ(want[c].hammer_count, scratch[c].hammer_count);
+        }
+      } else {
+        const double want = legacy.MinFlipHammerCount(
+            0, row, 0x55, 0xAA, t_on, temp, encoding, now);
+        EXPECT_EQ(want, ctxeng.MinFlipHammerCount(ctx, now));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vrddram::vrd

@@ -45,9 +45,9 @@ TEST(TrapDynamicsTest, FastTrapOccupancyMatchesStationary) {
   const TrapFaultEngine::Trap* trap = nullptr;
   for (dram::RowAddr r = 1; r < 1000; ++r) {
     const auto& state = engine.RowStateOf(0, dram::PhysicalRow{r});
-    if (state.cells.size() == 1 && state.cells[0].traps.size() == 1) {
+    if (state.cells.size() == 1 && state.cells[0].trap_count == 1) {
       row = dram::PhysicalRow{r};
-      trap = &state.cells[0].traps[0];
+      trap = &state.traps[state.cells[0].trap_begin];
       break;
     }
   }
@@ -90,7 +90,7 @@ TEST(TrapDynamicsTest, ShortIntervalsPreserveState) {
     dram::PhysicalRow row{0};
     for (dram::RowAddr r = 1; r < 1000; ++r) {
       const auto& state = engine.RowStateOf(0, dram::PhysicalRow{r});
-      if (state.cells.size() == 1 && state.cells[0].traps.size() == 1) {
+      if (state.cells.size() == 1 && state.cells[0].trap_count == 1) {
         row = dram::PhysicalRow{r};
         break;
       }
@@ -174,7 +174,7 @@ TEST(TrapDynamicsTest, HigherTemperatureAcceleratesTraps) {
     dram::PhysicalRow row{0};
     for (dram::RowAddr r = 1; r < 1000; ++r) {
       const auto& state = engine.RowStateOf(0, dram::PhysicalRow{r});
-      if (state.cells.size() == 1 && !state.cells[0].traps.empty()) {
+      if (state.cells.size() == 1 && state.cells[0].trap_count > 0) {
         row = dram::PhysicalRow{r};
         break;
       }

@@ -86,7 +86,7 @@ TEST_F(TrapEngineTest, NoFlipsWithoutDose) {
   ctx.data = data;
   ctx.encoding = &encoding_;
   ctx.now = 0;
-  EXPECT_TRUE(engine_.Evaluate(ctx).empty());
+  EXPECT_TRUE(engine_.EvaluateToVector(ctx).empty());
 }
 
 TEST_F(TrapEngineTest, EnoughHammersFlipAndRestoreClears) {
@@ -106,11 +106,11 @@ TEST_F(TrapEngineTest, EnoughHammersFlipAndRestoreClears) {
   ctx.data = victim_data;
   ctx.encoding = &encoding_;
   ctx.now = 1000;
-  EXPECT_FALSE(engine_.Evaluate(ctx).empty());
+  EXPECT_FALSE(engine_.EvaluateToVector(ctx).empty());
 
   engine_.OnRestore(0, row, 2000);
   ctx.now = 2000;
-  EXPECT_TRUE(engine_.Evaluate(ctx).empty());
+  EXPECT_TRUE(engine_.EvaluateToVector(ctx).empty());
 }
 
 TEST_F(TrapEngineTest, AnalyticThresholdMatchesDoseEvaluation) {
@@ -136,7 +136,7 @@ TEST_F(TrapEngineTest, AnalyticThresholdMatchesDoseEvaluation) {
     ctx.data = victim_data;
     ctx.encoding = &encoding_;
     ctx.now = 0;
-    return !fresh.Evaluate(ctx).empty();
+    return !fresh.EvaluateToVector(ctx).empty();
   };
 
   EXPECT_FALSE(hammer_and_check(static_cast<std::uint64_t>(hc * 0.98)));
@@ -189,7 +189,7 @@ TEST_F(TrapEngineTest, DistanceTwoCouplingIsMuchWeaker) {
   ctx.data = victim_data;
   ctx.encoding = &encoding_;
   ctx.now = 0;
-  EXPECT_TRUE(fresh.Evaluate(ctx).empty());
+  EXPECT_TRUE(fresh.EvaluateToVector(ctx).empty());
 }
 
 TEST_F(TrapEngineTest, DeterministicProfileYieldsConstantSamples) {
@@ -217,7 +217,7 @@ TEST(TrapEngineVrdTest, TrapsCreateTemporalVariation) {
   for (dram::RowAddr r = 1; r < 255 && !found; ++r) {
     for (const auto& cell :
          engine.RowStateOf(0, dram::PhysicalRow{r}).cells) {
-      if (!cell.traps.empty()) {
+      if (cell.trap_count > 0) {
         row = dram::PhysicalRow{r};
         found = true;
         break;
