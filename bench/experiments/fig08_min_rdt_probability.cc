@@ -59,9 +59,13 @@ void AnalyzeFig08(const core::CampaignResult& result, Report* report) {
       settings.sample_sizes.size());
   std::vector<std::vector<double>> norm_by_n(
       settings.sample_sizes.size());
+  // Hoisted result + scratch: the per-record Monte Carlo loop reuses
+  // one set of buffers instead of reallocating per series.
+  core::RowMinRdtResult mc;
+  core::MinRdtScratch mc_scratch;
   for (const core::SeriesRecord& record : result.records) {
-    const core::RowMinRdtResult mc =
-        core::AnalyzeRowSeries(record.series, settings, rng, pool.get());
+    core::AnalyzeRowSeries(record.series, settings, rng, mc, mc_scratch,
+                           pool.get());
     for (std::size_t i = 0; i < mc.per_n.size(); ++i) {
       prob_by_n[i].push_back(mc.per_n[i].prob_find_min);
       norm_by_n[i].push_back(mc.per_n[i].expected_norm_min);

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Monotonic bump allocator for shard- and series-scoped scratch
+ * storage (DESIGN.md §10).
+ *
+ * Campaign shards and bank-wide measurement contexts need many small
+ * same-lifetime arrays whose sizes are known only at construction time.
+ * A MonotonicArena hands out aligned spans from large chunks with one
+ * pointer bump per allocation and releases everything at once:
+ * Reset() rewinds the arena without returning memory to the system, so
+ * a shard that is reused (one arena per campaign shard, one Reset per
+ * series or sweep) reaches an allocation-free steady state.
+ *
+ * The arena is deliberately restricted to trivially destructible
+ * element types: Reset() never runs destructors, which is what makes
+ * rewinding O(chunks). It is not thread-safe — every shard owns its
+ * own arena, the same ownership discipline the per-shard RNG streams
+ * follow.
+ */
+#ifndef VRDDRAM_COMMON_ARENA_H
+#define VRDDRAM_COMMON_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace vrddram {
+
+class MonotonicArena {
+ public:
+  /// `chunk_bytes` is the granularity of growth; oversized allocations
+  /// get a dedicated chunk of exactly their size.
+  explicit MonotonicArena(std::size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+  MonotonicArena(MonotonicArena&&) = default;
+  MonotonicArena& operator=(MonotonicArena&&) = default;
+
+  /**
+   * Allocate a value-initialized span of `count` elements. Returns an
+   * empty span for count == 0. The storage lives until Reset() or
+   * destruction; spans handed out earlier must not be used after
+   * either.
+   */
+  template <typename T>
+  std::span<T> AllocSpan(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "MonotonicArena::Reset never runs destructors");
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned types are not supported");
+    if (count == 0) {
+      return {};
+    }
+    void* raw = AllocBytes(count * sizeof(T), alignof(T));
+    T* data = static_cast<T*>(raw);
+    std::uninitialized_value_construct_n(data, count);
+    return {data, count};
+  }
+
+  /**
+   * Rewind the arena: every previously returned span becomes invalid,
+   * every chunk is retained for reuse. The allocation cursor restarts
+   * at the first chunk, so a steady-state caller stops touching the
+   * system allocator after its first pass.
+   */
+  void Reset() {
+    for (Chunk& chunk : chunks_) {
+      chunk.used = 0;
+    }
+    active_ = 0;
+  }
+
+  /// Bytes handed out since construction / the last Reset (diagnostic).
+  std::size_t bytes_used() const {
+    std::size_t used = 0;
+    for (const Chunk& chunk : chunks_) {
+      used += chunk.used;
+    }
+    return used;
+  }
+
+  /// Total bytes held in chunks (capacity, survives Reset).
+  std::size_t bytes_reserved() const {
+    std::size_t reserved = 0;
+    for (const Chunk& chunk : chunks_) {
+      reserved += chunk.size;
+    }
+    return reserved;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t AlignUp(std::size_t value, std::size_t alignment) {
+    return (value + alignment - 1) & ~(alignment - 1);
+  }
+
+  void* AllocBytes(std::size_t bytes, std::size_t alignment) {
+    // Advance through retained chunks until one fits; operator new
+    // already aligns chunk bases to max_align_t, so aligning the
+    // offset suffices.
+    while (active_ < chunks_.size()) {
+      Chunk& chunk = chunks_[active_];
+      const std::size_t offset = AlignUp(chunk.used, alignment);
+      if (offset + bytes <= chunk.size) {
+        chunk.used = offset + bytes;
+        return chunk.data.get() + offset;
+      }
+      ++active_;
+    }
+    Chunk chunk;
+    chunk.size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+    chunk.data = std::make_unique<std::byte[]>(chunk.size);
+    chunk.used = bytes;
+    chunks_.push_back(std::move(chunk));
+    active_ = chunks_.size() - 1;
+    return chunks_.back().data.get();
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+  std::size_t chunk_bytes_;
+};
+
+}  // namespace vrddram
+
+#endif  // VRDDRAM_COMMON_ARENA_H

@@ -1,0 +1,77 @@
+#include "common/simd.h"
+
+namespace vrddram::simd {
+
+namespace detail {
+
+void ScaleToScalar(double* dst, const double* src, double factor,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = src[i] * factor;
+  }
+}
+
+void OccupancyBlendScalar(double* dst, const double* occupancy,
+                          const double* prev, const double* decay,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = occupancy[i] + (prev[i] - occupancy[i]) * decay[i];
+  }
+}
+
+#if defined(VRDDRAM_HAVE_AVX2_TU)
+// Defined in simd_avx2.cc (compiled with -mavx2 and *without* -mfma,
+// so the compiler cannot contract the sub/mul/add sequences into FMAs
+// that would round differently from the scalar loops above).
+void ScaleToAvx2(double* dst, const double* src, double factor,
+                 std::size_t n);
+void OccupancyBlendAvx2(double* dst, const double* occupancy,
+                        const double* prev, const double* decay,
+                        std::size_t n);
+#endif
+
+}  // namespace detail
+
+namespace {
+
+bool DetectAvx2() {
+#if defined(VRDDRAM_HAVE_AVX2_TU) && defined(__x86_64__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool HasAvx2() {
+  static const bool has = DetectAvx2();
+  return has;
+}
+
+const char* ActiveTarget() { return HasAvx2() ? "avx2" : "scalar"; }
+
+void ScaleTo(double* dst, const double* src, double factor,
+             std::size_t n) {
+#if defined(VRDDRAM_HAVE_AVX2_TU)
+  if (HasAvx2()) {
+    detail::ScaleToAvx2(dst, src, factor, n);
+    return;
+  }
+#endif
+  detail::ScaleToScalar(dst, src, factor, n);
+}
+
+void OccupancyBlend(double* dst, const double* occupancy,
+                    const double* prev, const double* decay,
+                    std::size_t n) {
+#if defined(VRDDRAM_HAVE_AVX2_TU)
+  if (HasAvx2()) {
+    detail::OccupancyBlendAvx2(dst, occupancy, prev, decay, n);
+    return;
+  }
+#endif
+  detail::OccupancyBlendScalar(dst, occupancy, prev, decay, n);
+}
+
+}  // namespace vrddram::simd

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the bank-wide measurement path
+ * (DESIGN.md §10).
+ *
+ * Every routine here is *element-exact*: it performs the same IEEE-754
+ * operations per element as the scalar reference loop, in the same
+ * per-element order, with no fused-multiply-add and no cross-element
+ * reassociation. That is what lets the AVX2 path and the portable
+ * scalar fallback produce bit-identical outputs — the dispatch is a
+ * pure speed choice, never a results choice, so simulation output
+ * cannot depend on the host CPU (the DESIGN.md §6 determinism
+ * contract).
+ *
+ * What is deliberately NOT here:
+ *  - exp(): a vectorized exponential (polynomial or table based)
+ *    differs from libm's std::exp in the last ulps, which would break
+ *    the batched kernel's bit-equality contract with the scalar
+ *    MeasureContext path. Decay evaluation therefore vectorizes the
+ *    -rate*dt products and falls back to scalar std::exp for the
+ *    final reduction (see BatchMeasureContext::DecayFor).
+ *  - horizontal sums: the per-cell trap-boost accumulation is a
+ *    sequentially ordered sum; reassociating it changes rounding.
+ */
+#ifndef VRDDRAM_COMMON_SIMD_H
+#define VRDDRAM_COMMON_SIMD_H
+
+#include <cstddef>
+
+namespace vrddram::simd {
+
+/// True when the process runs on a CPU with AVX2 and the AVX2 kernels
+/// were compiled in. Exposed for tests and telemetry; results never
+/// depend on it.
+bool HasAvx2();
+
+/// Human-readable name of the active dispatch target ("avx2" or
+/// "scalar").
+const char* ActiveTarget();
+
+/// dst[i] = src[i] * factor. Exact: one IEEE multiply per element.
+void ScaleTo(double* dst, const double* src, double factor,
+             std::size_t n);
+
+/**
+ * dst[i] = occupancy[i] + (prev[i] - occupancy[i]) * decay[i] — the
+ * trap-occupancy relaxation step, evaluated as sub, mul, add per
+ * element (never an FMA), matching the scalar kernel's rounding
+ * exactly.
+ */
+void OccupancyBlend(double* dst, const double* occupancy,
+                    const double* prev, const double* decay,
+                    std::size_t n);
+
+namespace detail {
+// Scalar reference loops (always compiled; the dispatch target on
+// non-AVX2 hosts). Exposed so tests can pin dispatched == scalar on
+// whatever CPU runs them.
+void ScaleToScalar(double* dst, const double* src, double factor,
+                   std::size_t n);
+void OccupancyBlendScalar(double* dst, const double* occupancy,
+                          const double* prev, const double* decay,
+                          std::size_t n);
+}  // namespace detail
+
+}  // namespace vrddram::simd
+
+#endif  // VRDDRAM_COMMON_SIMD_H

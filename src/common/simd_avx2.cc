@@ -1,0 +1,58 @@
+/**
+ * @file
+ * AVX2 lanes of the simd.h kernels. This translation unit is the only
+ * one compiled with -mavx2, and it is compiled WITHOUT -mfma on
+ * purpose: every vector op below is a distinct IEEE multiply/add/sub,
+ * so each lane rounds exactly like the scalar reference loop and the
+ * dispatch in simd.cc can never change results, only speed.
+ *
+ * The functions are only referenced when VRDDRAM_HAVE_AVX2_TU is
+ * defined (set by CMake when the compiler accepts -mavx2); callers
+ * additionally gate on __builtin_cpu_supports("avx2") at runtime.
+ */
+#if defined(VRDDRAM_HAVE_AVX2_TU)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace vrddram::simd::detail {
+
+void ScaleToScalar(double* dst, const double* src, double factor,
+                   std::size_t n);
+void OccupancyBlendScalar(double* dst, const double* occupancy,
+                          const double* prev, const double* decay,
+                          std::size_t n);
+
+void ScaleToAvx2(double* dst, const double* src, double factor,
+                 std::size_t n) {
+  const __m256d f = _mm256_set1_pd(factor);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i,
+                     _mm256_mul_pd(_mm256_loadu_pd(src + i), f));
+  }
+  ScaleToScalar(dst + i, src + i, factor, n - i);
+}
+
+void OccupancyBlendAvx2(double* dst, const double* occupancy,
+                        const double* prev, const double* decay,
+                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d occ = _mm256_loadu_pd(occupancy + i);
+    const __m256d pv = _mm256_loadu_pd(prev + i);
+    const __m256d dc = _mm256_loadu_pd(decay + i);
+    // occ + (prev - occ) * decay as separate sub, mul, add — the same
+    // three roundings as the scalar loop.
+    const __m256d out = _mm256_add_pd(
+        occ, _mm256_mul_pd(_mm256_sub_pd(pv, occ), dc));
+    _mm256_storeu_pd(dst + i, out);
+  }
+  OccupancyBlendScalar(dst + i, occupancy + i, prev + i, decay + i,
+                       n - i);
+}
+
+}  // namespace vrddram::simd::detail
+
+#endif  // VRDDRAM_HAVE_AVX2_TU

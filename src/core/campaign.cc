@@ -57,6 +57,15 @@ std::vector<dram::RowAddr> SelectVulnerableRows(
     dram::Device& device, vrd::TrapFaultEngine& engine, dram::BankId bank,
     std::size_t per_region, std::size_t scan_per_region,
     dram::DataPattern pattern, Tick t_on) {
+  MonotonicArena arena;
+  return SelectVulnerableRows(device, engine, bank, per_region,
+                              scan_per_region, pattern, t_on, arena);
+}
+
+std::vector<dram::RowAddr> SelectVulnerableRows(
+    dram::Device& device, vrd::TrapFaultEngine& engine, dram::BankId bank,
+    std::size_t per_region, std::size_t scan_per_region,
+    dram::DataPattern pattern, Tick t_on, MonotonicArena& arena) {
   VRD_FATAL_IF(per_region == 0 || scan_per_region < per_region,
                "invalid row-selection counts");
   const dram::RowAddr rows = device.org().rows_per_bank;
@@ -67,8 +76,15 @@ std::vector<dram::RowAddr> SelectVulnerableRows(
     double mean_rdt;
   };
 
+  // One measurement context reused across every scanned row (rebuilt
+  // in place), one arena-backed candidate buffer per region: the scan
+  // does not touch the heap beyond the returned row list.
+  vrd::MeasureContext mctx;
+
   auto scan_region = [&](dram::RowAddr begin) {
-    std::vector<Candidate> candidates;
+    std::span<Candidate> candidates =
+        arena.AllocSpan<Candidate>(scan_per_region);
+    std::size_t count = 0;
     const dram::RowAddr last = device.org().LargestRowAddress();
     for (dram::RowAddr row = begin;
          row < begin + static_cast<dram::RowAddr>(scan_per_region);
@@ -79,10 +95,10 @@ std::vector<dram::RowAddr> SelectVulnerableRows(
       }
       // 10 quick RDT samples, as the paper's selection step does, all
       // through one series-scoped context per scanned row.
-      vrd::MeasureContext mctx = engine.MakeMeasureContext(
-          bank, phys, dram::VictimByte(pattern),
-          dram::AggressorByte(pattern), t_on, device.temperature(),
-          device.encoding(), device.Now());
+      engine.MakeMeasureContext(bank, phys, dram::VictimByte(pattern),
+                                dram::AggressorByte(pattern), t_on,
+                                device.temperature(), device.encoding(),
+                                device.Now(), mctx);
       double sum = 0.0;
       std::size_t hits = 0;
       for (int i = 0; i < 10; ++i) {
@@ -95,21 +111,22 @@ std::vector<dram::RowAddr> SelectVulnerableRows(
         }
       }
       if (hits == 10) {
-        candidates.push_back(Candidate{row, sum / 10.0});
+        candidates[count++] = Candidate{row, sum / 10.0};
       }
     }
     // Tie-break equal means by row so the selected set is a pure
     // function of the measurements, not of sort implementation or
     // candidate order.
-    std::sort(candidates.begin(), candidates.end(),
+    std::span<Candidate> found = candidates.first(count);
+    std::sort(found.begin(), found.end(),
               [](const Candidate& a, const Candidate& b) {
                 return std::tie(a.mean_rdt, a.row) <
                        std::tie(b.mean_rdt, b.row);
               });
-    if (candidates.size() > per_region) {
-      candidates.resize(per_region);
+    if (found.size() > per_region) {
+      found = found.first(per_region);
     }
-    return candidates;
+    return found;
   };
 
   std::vector<dram::RowAddr> selected;
@@ -146,6 +163,10 @@ std::vector<SeriesRecord> RunShard(const CampaignConfig& config,
     device->SetOnDieEccEnabled(false);
   }
 
+  // Per-shard arena: backs the row-selection scan (and any future
+  // batched contexts) so the shard's steady state stays off the heap.
+  MonotonicArena arena;
+
   // Row selection runs on the freshly built device, before the shard
   // temperature is applied, so every shard of the same device selects
   // the identical row set.
@@ -154,7 +175,7 @@ std::vector<SeriesRecord> RunShard(const CampaignConfig& config,
   const std::vector<dram::RowAddr> rows = SelectVulnerableRows(
       *device, *engine, /*bank=*/0, per_region,
       config.scan_rows_per_region, dram::DataPattern::kCheckered0,
-      device->timing().tRAS);
+      device->timing().tRAS, arena);
 
   if (config.use_thermal_rig) {
     bender::TemperatureController rig(*device);
@@ -165,6 +186,10 @@ std::vector<SeriesRecord> RunShard(const CampaignConfig& config,
   }
 
   std::vector<SeriesRecord> records;
+  // Hoisted series scratch: the measurement loop reuses one buffer and
+  // the profiler's in-place series context; only the per-record copy
+  // into `records` allocates.
+  std::vector<std::int64_t> series_scratch;
   for (const TOnChoice t_on_choice : config.t_ons) {
     const Tick t_on = ResolveTOn(t_on_choice, device->timing());
     for (const dram::DataPattern pattern : config.patterns) {
@@ -191,8 +216,9 @@ std::vector<SeriesRecord> RunShard(const CampaignConfig& config,
         record.t_on = t_on_choice;
         record.temperature = temperature;
         record.rdt_guess = *guess;
-        record.series =
-            profiler.MeasureSeries(row, *guess, config.measurements);
+        profiler.MeasureSeries(row, *guess, config.measurements,
+                               series_scratch);
+        record.series = series_scratch;
         records.push_back(std::move(record));
       }
     }

@@ -3,14 +3,38 @@
 #include <algorithm>
 #include <cmath>
 #include <ostream>
-#include <set>
-#include <unordered_map>
 
+#include "common/arena.h"
 #include "common/error.h"
-#include "common/sorted.h"
 #include "core/campaign.h"
 
 namespace vrddram::core {
+
+namespace {
+
+/// Largest per-group flip count over sorted unique bit indices, where
+/// a bit's group is bit / bits_per_group (codeword locality). Sorted
+/// input makes groups contiguous, so one linear run-length scan
+/// replaces the histogram map the study previously built per margin —
+/// the maxima are identical, and the scan allocates nothing.
+std::size_t MaxFlipsPerGroup(std::span<const std::uint32_t> sorted_bits,
+                             std::uint32_t bits_per_group) {
+  std::size_t worst = 0;
+  std::size_t run = 0;
+  std::uint32_t group = 0;
+  for (const std::uint32_t bit : sorted_bits) {
+    const std::uint32_t g = bit / bits_per_group;
+    if (run == 0 || g != group) {
+      group = g;
+      run = 0;
+    }
+    ++run;
+    worst = std::max(worst, run);
+  }
+  return worst;
+}
+
+}  // namespace
 
 std::vector<RowGuardbandOutcome> RunGuardbandStudy(
     const GuardbandConfig& config, std::ostream* progress) {
@@ -18,7 +42,18 @@ std::vector<RowGuardbandOutcome> RunGuardbandStudy(
   VRD_FATAL_IF(config.trials == 0, "study needs trials");
   std::vector<RowGuardbandOutcome> outcomes;
 
+  // Per-study arena + scratch reused by every (device, pattern, row,
+  // margin) combination: the measurement loops are allocation-free
+  // once the buffers reach their high-water capacity.
+  MonotonicArena arena;
+  vrd::MeasureContext mctx;
+  std::vector<vrd::TrapFaultEngine::CellFlipPoint> points;
+  std::vector<std::uint32_t> flipped_bits;
+  std::vector<std::uint32_t> chip_scratch;
+
   for (const std::string& name : config.devices) {
+    // The previous device's selection spans are dead; reuse the pages.
+    arena.Reset();
     std::unique_ptr<dram::Device> device =
         vrd::BuildDevice(name, config.base_seed);
     auto* engine = dynamic_cast<vrd::TrapFaultEngine*>(&device->model());
@@ -30,7 +65,7 @@ std::vector<RowGuardbandOutcome> RunGuardbandStudy(
     const std::vector<dram::RowAddr> rows = SelectVulnerableRows(
         *device, *engine, /*bank=*/0, per_region,
         config.scan_rows_per_region, dram::DataPattern::kCheckered0,
-        device->timing().tRAS);
+        device->timing().tRAS, arena);
     if (progress != nullptr) {
       *progress << "guardband: " << name << ", " << rows.size()
                 << " rows\n";
@@ -76,19 +111,19 @@ std::vector<RowGuardbandOutcome> RunGuardbandStudy(
 
         // Step 2: hammer repeatedly at guard-banded hammer counts and
         // union the flipping cells. All trials of all margins query the
-        // same (row, pattern, temperature), so one MeasureContext and
-        // one flip-point scratch buffer serve the whole sweep.
-        vrd::MeasureContext mctx = engine->MakeMeasureContext(
+        // same (row, pattern, temperature), so one rebuilt-in-place
+        // MeasureContext and the hoisted scratch buffers serve the
+        // whole sweep without allocating.
+        engine->MakeMeasureContext(
             /*bank=*/0, phys, dram::VictimByte(pattern),
             dram::AggressorByte(pattern), t_on, config.temperature,
-            device->encoding(), device->Now());
-        std::vector<vrd::TrapFaultEngine::CellFlipPoint> points;
+            device->encoding(), device->Now(), mctx);
         for (const double margin : config.margins) {
           MarginOutcome per;
           per.margin = margin;
           per.hammer_count = static_cast<std::uint64_t>(
               static_cast<double>(outcome.min_rdt) * (1.0 - margin));
-          std::set<std::uint32_t> unique_bits;
+          flipped_bits.clear();
           for (std::size_t trial = 0; trial < config.trials; ++trial) {
             bool any = false;
             engine->PerCellFlipHammerCounts(mctx, device->Now(), points);
@@ -96,7 +131,7 @@ std::vector<RowGuardbandOutcome> RunGuardbandStudy(
               if (point.hammer_count >= 0.0 &&
                   point.hammer_count <=
                       static_cast<double>(per.hammer_count)) {
-                unique_bits.insert(point.bit_index);
+                flipped_bits.push_back(point.bit_index);
                 any = true;
               }
             }
@@ -106,30 +141,32 @@ std::vector<RowGuardbandOutcome> RunGuardbandStudy(
             device->Sleep(trial_time);
           }
 
-          per.unique_bitflips = unique_bits.size();
-          std::set<std::uint32_t> chip_set;
-          std::unordered_map<std::uint32_t, std::size_t> secded;
-          std::unordered_map<std::uint32_t, std::size_t> chipkill;
-          for (const std::uint32_t bit : unique_bits) {
-            const std::uint32_t byte = bit / 8;
-            chip_set.insert(byte % chips);
-            secded[byte / 8] += 1;
-            chipkill[byte / 16] += 1;
+          // Deduplicate across trials: sort+unique in the hoisted
+          // buffer stands in for the ordered set the study previously
+          // populated per margin (same unique bits, same order).
+          std::sort(flipped_bits.begin(), flipped_bits.end());
+          flipped_bits.erase(
+              std::unique(flipped_bits.begin(), flipped_bits.end()),
+              flipped_bits.end());
+          per.unique_bitflips = flipped_bits.size();
+
+          // Codeword maxima via run-length scans over the sorted bits
+          // (a SECDED codeword covers 8 bytes = 64 bits, a chipkill
+          // codeword 16 bytes = 128); chips touched via the sorted
+          // chip-index scratch. All pure functions of the bit set,
+          // identical to the previous histogram-map aggregation.
+          per.max_per_secded_codeword = MaxFlipsPerGroup(flipped_bits, 64);
+          per.max_per_chipkill_codeword =
+              MaxFlipsPerGroup(flipped_bits, 128);
+          chip_scratch.clear();
+          for (const std::uint32_t bit : flipped_bits) {
+            chip_scratch.push_back((bit / 8) % chips);
           }
-          // Aggregate over key-sorted snapshots so the reported maxima
-          // are a pure function of the histogram contents, never of
-          // hash-table iteration order (DESIGN.md §6).
-          for (const auto& [codeword, count] : SortedByKey(secded)) {
-            (void)codeword;
-            per.max_per_secded_codeword =
-                std::max(per.max_per_secded_codeword, count);
-          }
-          for (const auto& [codeword, count] : SortedByKey(chipkill)) {
-            (void)codeword;
-            per.max_per_chipkill_codeword =
-                std::max(per.max_per_chipkill_codeword, count);
-          }
-          per.chips_touched = chip_set.size();
+          std::sort(chip_scratch.begin(), chip_scratch.end());
+          chip_scratch.erase(
+              std::unique(chip_scratch.begin(), chip_scratch.end()),
+              chip_scratch.end());
+          per.chips_touched = chip_scratch.size();
           outcome.per_margin.push_back(per);
         }
         outcomes.push_back(std::move(outcome));

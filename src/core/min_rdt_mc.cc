@@ -9,7 +9,18 @@ namespace vrddram::core {
 RowMinRdtResult AnalyzeRowSeries(std::span<const std::int64_t> series,
                                  const MinRdtSettings& settings,
                                  Rng& rng, ThreadPool* pool) {
-  std::vector<std::int64_t> valid;
+  RowMinRdtResult out;
+  MinRdtScratch scratch;
+  AnalyzeRowSeries(series, settings, rng, out, scratch, pool);
+  return out;
+}
+
+void AnalyzeRowSeries(std::span<const std::int64_t> series,
+                      const MinRdtSettings& settings, Rng& rng,
+                      RowMinRdtResult& out, MinRdtScratch& scratch,
+                      ThreadPool* pool) {
+  std::vector<std::int64_t>& valid = scratch.valid;
+  valid.clear();
   valid.reserve(series.size());
   for (const std::int64_t v : series) {
     if (v >= 0) {
@@ -18,23 +29,33 @@ RowMinRdtResult AnalyzeRowSeries(std::span<const std::int64_t> series,
   }
   VRD_FATAL_IF(valid.empty(), "series has no flipping measurements");
 
+  // Fork labels depend only on the sample-size list; cache them so a
+  // hoisted scratch builds the strings once per settings shape.
+  if (scratch.labeled_sizes != settings.sample_sizes) {
+    scratch.labels.clear();
+    scratch.labels.reserve(settings.sample_sizes.size());
+    for (const std::size_t n : settings.sample_sizes) {
+      scratch.labels.push_back("minrdt/n=" + std::to_string(n));
+    }
+    scratch.labeled_sizes = settings.sample_sizes;
+  }
+
   // Fork one stream per sample size up front (in N order) so every
   // task draws from its own RNG: the fan-out below never shares a
   // generator, and the output does not depend on the worker count.
-  std::vector<Rng> streams;
+  std::vector<Rng>& streams = scratch.streams;
+  streams.clear();
   streams.reserve(settings.sample_sizes.size());
-  for (const std::size_t n : settings.sample_sizes) {
-    streams.push_back(rng.Fork("minrdt/n=" + std::to_string(n)));
+  for (const std::string& label : scratch.labels) {
+    streams.push_back(rng.Fork(label));
   }
 
-  RowMinRdtResult out;
   out.per_n.resize(settings.sample_sizes.size());
   ParallelFor(pool, settings.sample_sizes.size(), [&](std::size_t i) {
     out.per_n[i] = stats::SampleMinStatistics(
         valid, settings.sample_sizes[i], settings.iterations, streams[i],
         settings.margins);
   });
-  return out;
 }
 
 }  // namespace vrddram::core

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -43,6 +44,28 @@ struct RowMinRdtResult {
 RowMinRdtResult AnalyzeRowSeries(std::span<const std::int64_t> series,
                                  const MinRdtSettings& settings, Rng& rng,
                                  ThreadPool* pool = nullptr);
+
+/**
+ * Reusable working storage for AnalyzeRowSeries: the filtered series,
+ * the per-N child streams, and the fork labels (cached per sample-size
+ * list, so repeated calls build no strings). Hoist one instance across
+ * a record loop and the analysis stops allocating once every buffer
+ * reaches its high-water capacity.
+ */
+struct MinRdtScratch {
+  std::vector<std::int64_t> valid;
+  std::vector<Rng> streams;
+  std::vector<std::string> labels;
+  std::vector<std::size_t> labeled_sizes;  ///< sample sizes labels match
+};
+
+/// Scratch overload: identical results to the value-returning form
+/// (same filtering, same fork order, same per-N statistics), writing
+/// into `out` and drawing working storage from `scratch`.
+void AnalyzeRowSeries(std::span<const std::int64_t> series,
+                      const MinRdtSettings& settings, Rng& rng,
+                      RowMinRdtResult& out, MinRdtScratch& scratch,
+                      ThreadPool* pool = nullptr);
 
 }  // namespace vrddram::core
 

@@ -61,18 +61,27 @@ Tick RdtProfiler::IterationTime(std::uint64_t hc) const {
 RdtProfiler::SeriesContext RdtProfiler::MakeSeriesContext(
     dram::RowAddr victim, std::uint64_t rdt_guess) {
   SeriesContext ctx;
+  MakeSeriesContext(victim, rdt_guess, ctx);
+  return ctx;
+}
+
+void RdtProfiler::MakeSeriesContext(dram::RowAddr victim,
+                                    std::uint64_t rdt_guess,
+                                    SeriesContext& ctx) {
   ctx.grid = GridFor(rdt_guess);
   ctx.t_on = EffectiveTOn();
   if (config_.mode == SweepMode::kAnalytic) {
     ctx.phys = device_->mapper().ToPhysical(victim);
     ctx.fixed_per_step = IterationTime(0);
     ctx.per_hammer = 2 * (ctx.t_on + device_->timing().tRP);
-    ctx.measure = engine_->MakeMeasureContext(
+    // In-place rebuild: the engine clears and refills the context's
+    // vectors without releasing their capacity.
+    engine_->MakeMeasureContext(
         config_.bank, ctx.phys, dram::VictimByte(config_.pattern),
         dram::AggressorByte(config_.pattern), ctx.t_on,
-        device_->temperature(), device_->encoding(), device_->Now());
+        device_->temperature(), device_->encoding(), device_->Now(),
+        ctx.measure);
   }
-  return ctx;
 }
 
 std::int64_t RdtProfiler::MeasureOnceSwept(dram::RowAddr victim,
@@ -151,7 +160,7 @@ std::int64_t RdtProfiler::MeasureOnce(dram::RowAddr victim,
   if (!once_cache_.valid || once_cache_.victim != victim ||
       once_cache_.rdt_guess != rdt_guess ||
       once_cache_.temperature != device_->temperature()) {
-    once_cache_.ctx = MakeSeriesContext(victim, rdt_guess);
+    MakeSeriesContext(victim, rdt_guess, once_cache_.ctx);
     once_cache_.victim = victim;
     once_cache_.rdt_guess = rdt_guess;
     once_cache_.temperature = device_->temperature();
@@ -163,14 +172,22 @@ std::int64_t RdtProfiler::MeasureOnce(dram::RowAddr victim,
 std::vector<std::int64_t> RdtProfiler::MeasureSeries(
     dram::RowAddr victim, std::uint64_t rdt_guess, std::size_t n) {
   std::vector<std::int64_t> series;
-  series.reserve(n);
-  // The grid, row mapping, timing constants, and engine-side caches
-  // depend only on (victim, rdt_guess) and the fixed test setup.
-  SeriesContext ctx = MakeSeriesContext(victim, rdt_guess);
-  for (std::size_t i = 0; i < n; ++i) {
-    series.push_back(MeasureOnceWith(ctx, victim));
-  }
+  MeasureSeries(victim, rdt_guess, n, series);
   return series;
+}
+
+void RdtProfiler::MeasureSeries(dram::RowAddr victim,
+                                std::uint64_t rdt_guess, std::size_t n,
+                                std::vector<std::int64_t>& out) {
+  out.clear();
+  out.reserve(n);
+  // The grid, row mapping, timing constants, and engine-side caches
+  // depend only on (victim, rdt_guess) and the fixed test setup; the
+  // scratch context is rebuilt in place with retained capacity.
+  MakeSeriesContext(victim, rdt_guess, series_scratch_);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(MeasureOnceWith(series_scratch_, victim));
+  }
 }
 
 std::optional<std::uint64_t> RdtProfiler::GuessRdt(dram::RowAddr victim) {
@@ -209,9 +226,9 @@ std::optional<std::uint64_t> RdtProfiler::GuessRdt(dram::RowAddr victim) {
   // repeated measurements.
   double sum = 0.0;
   std::size_t hits = 0;
-  SeriesContext ctx = MakeSeriesContext(victim, rough);
+  MakeSeriesContext(victim, rough, series_scratch_);
   for (std::size_t i = 0; i < config_.guess_measurements; ++i) {
-    const std::int64_t rdt = MeasureOnceWith(ctx, victim);
+    const std::int64_t rdt = MeasureOnceWith(series_scratch_, victim);
     if (rdt != kNoFlip) {
       sum += static_cast<double>(rdt);
       ++hits;

@@ -79,6 +79,14 @@ class RdtProfiler {
                                           std::uint64_t rdt_guess,
                                           std::size_t n);
 
+  /// Reuse overload: write the series into caller-owned scratch
+  /// (cleared first, capacity retained). With a hoisted `out`, a
+  /// campaign shard's measurement loop allocates nothing after the
+  /// first series — the profiler-side series context is likewise
+  /// rebuilt in place (see SeriesContext).
+  void MeasureSeries(dram::RowAddr victim, std::uint64_t rdt_guess,
+                     std::size_t n, std::vector<std::int64_t>& out);
+
   /**
    * Alg. 1's guess_RDT: seed with a geometric scan, then average
    * `guess_measurements` sweep measurements. nullopt when the row does
@@ -127,6 +135,10 @@ class RdtProfiler {
   };
   SeriesContext MakeSeriesContext(dram::RowAddr victim,
                                   std::uint64_t rdt_guess);
+  /// Rebuild `ctx` in place (engine-side context reused with retained
+  /// capacity): the allocation-free path for series-over-series loops.
+  void MakeSeriesContext(dram::RowAddr victim, std::uint64_t rdt_guess,
+                         SeriesContext& ctx);
 
   std::int64_t MeasureOnceWith(SeriesContext& ctx,
                                dram::RowAddr victim);
@@ -153,6 +165,12 @@ class RdtProfiler {
     SeriesContext ctx;
   };
   OnceCache once_cache_;
+
+  /// Scratch series context reused by GuessRdt and MeasureSeries so
+  /// back-to-back series on one profiler stop allocating once every
+  /// vector has reached its high-water capacity. Never live across a
+  /// call boundary (OnceCache has its own context).
+  SeriesContext series_scratch_;
 
   dram::Device* device_;
   bender::TestHost host_;

@@ -1,0 +1,77 @@
+// MonotonicArena: span allocation, alignment, value initialization,
+// chunk growth, and the Reset() reuse contract the shard hot paths
+// rely on (DESIGN.md §10).
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace vrddram {
+namespace {
+
+TEST(MonotonicArenaTest, AllocatesValueInitializedSpans) {
+  MonotonicArena arena;
+  const std::span<double> doubles = arena.AllocSpan<double>(37);
+  ASSERT_EQ(doubles.size(), 37u);
+  for (const double v : doubles) {
+    EXPECT_EQ(v, 0.0);
+  }
+  const std::span<std::uint32_t> ints = arena.AllocSpan<std::uint32_t>(5);
+  ASSERT_EQ(ints.size(), 5u);
+  for (const std::uint32_t v : ints) {
+    EXPECT_EQ(v, 0u);
+  }
+  EXPECT_TRUE(arena.AllocSpan<double>(0).empty());
+}
+
+TEST(MonotonicArenaTest, SpansAreAlignedAndDisjoint) {
+  MonotonicArena arena(256);
+  const std::span<std::uint8_t> bytes = arena.AllocSpan<std::uint8_t>(3);
+  const std::span<double> doubles = arena.AllocSpan<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(doubles.data()) %
+                alignof(double),
+            0u);
+  // Writing one span never aliases the other.
+  bytes[0] = 0xAB;
+  doubles[0] = 1.5;
+  EXPECT_EQ(bytes[0], 0xAB);
+  EXPECT_EQ(doubles[0], 1.5);
+}
+
+TEST(MonotonicArenaTest, GrowsAcrossChunksAndOversizedRequests) {
+  MonotonicArena arena(64);
+  // Each allocation exceeds the chunk size: every one gets a dedicated
+  // chunk and stays usable.
+  const std::span<double> a = arena.AllocSpan<double>(32);  // 256 B
+  const std::span<double> b = arena.AllocSpan<double>(64);  // 512 B
+  a[31] = 1.0;
+  b[63] = 2.0;
+  EXPECT_EQ(a[31], 1.0);
+  EXPECT_EQ(b[63], 2.0);
+  EXPECT_GE(arena.bytes_reserved(), 256u + 512u);
+}
+
+TEST(MonotonicArenaTest, ResetReusesChunksWithoutNewReservations) {
+  MonotonicArena arena(1 << 12);
+  for (int i = 0; i < 4; ++i) {
+    arena.AllocSpan<double>(100);
+  }
+  const std::size_t reserved = arena.bytes_reserved();
+  ASSERT_GT(reserved, 0u);
+  for (int pass = 0; pass < 8; ++pass) {
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    for (int i = 0; i < 4; ++i) {
+      const std::span<double> span = arena.AllocSpan<double>(100);
+      // Reset re-value-initializes nothing by itself; AllocSpan does.
+      EXPECT_EQ(span[99], 0.0);
+      span[99] = 7.0;
+    }
+    // Steady state: no pass after the first may reserve more memory.
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+  }
+}
+
+}  // namespace
+}  // namespace vrddram

@@ -1,0 +1,79 @@
+// common/simd.h: the dispatched kernels must be bit-identical to the
+// scalar reference loops on whatever CPU runs the suite — dispatch is
+// a speed choice, never a results choice (DESIGN.md §6, §10).
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vrddram {
+namespace {
+
+std::vector<double> RandomDoubles(Rng& rng, std::size_t n, double lo,
+                                  double hi) {
+  std::vector<double> out(n);
+  for (double& v : out) {
+    v = lo + (hi - lo) * rng.NextDouble();
+  }
+  return out;
+}
+
+// Bitwise comparison: NaN-safe and ulp-strict, unlike operator==.
+void ExpectBitEqual(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << "element " << i;
+  }
+}
+
+TEST(SimdDispatchTest, ScaleToMatchesScalarBitForBit) {
+  Rng rng(MixSeed(0x51, 0x3d));
+  // Sizes straddle the 4-lane AVX2 width to exercise the tail loop.
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 31u, 256u, 1001u}) {
+    const std::vector<double> src =
+        RandomDoubles(rng, n, -2000.0, 2000.0);
+    std::vector<double> got(n, -1.0);
+    std::vector<double> want(n, -2.0);
+    simd::ScaleTo(got.data(), src.data(), -1.0e-3, n);
+    simd::detail::ScaleToScalar(want.data(), src.data(), -1.0e-3, n);
+    ExpectBitEqual(got, want);
+  }
+}
+
+TEST(SimdDispatchTest, OccupancyBlendMatchesScalarBitForBit) {
+  Rng rng(MixSeed(0x51, 0xb1));
+  for (const std::size_t n : {0u, 1u, 4u, 7u, 64u, 333u}) {
+    const std::vector<double> occ = RandomDoubles(rng, n, 0.0, 1.0);
+    std::vector<double> prev(n);
+    for (double& v : prev) {
+      v = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+    }
+    const std::vector<double> decay = RandomDoubles(rng, n, 0.0, 1.0);
+    std::vector<double> got(n, -1.0);
+    std::vector<double> want(n, -2.0);
+    simd::OccupancyBlend(got.data(), occ.data(), prev.data(),
+                         decay.data(), n);
+    simd::detail::OccupancyBlendScalar(want.data(), occ.data(),
+                                       prev.data(), decay.data(), n);
+    ExpectBitEqual(got, want);
+  }
+}
+
+TEST(SimdDispatchTest, ReportsCoherentTarget) {
+  if (simd::HasAvx2()) {
+    EXPECT_STREQ(simd::ActiveTarget(), "avx2");
+  } else {
+    EXPECT_STREQ(simd::ActiveTarget(), "scalar");
+  }
+}
+
+}  // namespace
+}  // namespace vrddram

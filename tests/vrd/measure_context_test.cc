@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "dram/cell_encoding.h"
@@ -30,8 +33,54 @@ TEST(SamplePoissonTest, RejectsDegenerateRates) {
   // before DBL_MIN; the engine caps supported rates at 50.
   EXPECT_THROW(SamplePoisson(rng, 50.1), FatalError);
   EXPECT_THROW(SamplePoisson(rng, 1e6), FatalError);
+  EXPECT_THROW(PoissonSampler(50.1), FatalError);
+  EXPECT_THROW(PoissonSampler(-0.5), FatalError);
   EXPECT_NO_THROW(SamplePoisson(rng, 50.0));
   EXPECT_NO_THROW(SamplePoisson(rng, 0.0));
+}
+
+/**
+ * Draw sequences are pinned: row manufacturing (weak-cell and trap
+ * counts) consumes these exact draws, so any change to the sampler —
+ * including the PoissonSampler limit hoisting — that shifted a single
+ * value would silently rebuild every simulated chip. Golden values
+ * span the profile regimes: sparse (0.1), typical (10), and just
+ * under the Knuth cap (49.9).
+ */
+TEST(SamplePoissonTest, DrawSequencesArePinned) {
+  const struct {
+    double lambda;
+    std::size_t want[12];
+  } cases[] = {
+      {0.1, {0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0}},
+      {10.0, {10, 7, 8, 7, 15, 13, 10, 10, 7, 16, 9, 8}},
+      {49.9, {49, 56, 62, 52, 37, 46, 51, 37, 51, 46, 47, 52}},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.lambda);
+    Rng rng(MixSeed(0x90, 0x15));
+    for (std::size_t i = 0; i < 12; ++i) {
+      EXPECT_EQ(SamplePoisson(rng, c.lambda), c.want[i]) << "draw " << i;
+    }
+  }
+}
+
+/// The hoisted-limit sampler is draw-for-draw identical to the
+/// free function, including its RNG consumption (the streams stay
+/// aligned afterwards).
+TEST(SamplePoissonTest, SamplerMatchesFreeFunctionSequence) {
+  for (const double lambda : {0.1, 1.6, 10.0, 49.9}) {
+    SCOPED_TRACE(lambda);
+    Rng a(MixSeed(0x90, 0x16));
+    Rng b(MixSeed(0x90, 0x16));
+    const PoissonSampler sampler(lambda);
+    EXPECT_EQ(sampler.lambda(), lambda);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(SamplePoisson(a, lambda), sampler(b));
+    }
+    // Identical consumption: the next raw draws agree too.
+    EXPECT_EQ(a.NextDouble(), b.NextDouble());
+  }
 }
 
 /**
@@ -116,14 +165,14 @@ TEST(TrapTemperatureScalingTest, RelaxationMatchesQ10ClosedForm) {
 }
 
 /**
- * The regression test backing the DESIGN.md §9 contract: on one device
- * per manufacturer plus an HBM2 chip, a MeasureContext-based series is
- * bit-identical - thresholds, per-cell flip points, and dynamics-RNG
- * consumption - to the legacy per-call path issuing the same queries
- * at the same ticks.
+ * The regression test backing the DESIGN.md §9 contract: on every
+ * tested chip of the catalog (all DDR4 modules and HBM2 chips), a
+ * MeasureContext-based series is bit-identical - thresholds, per-cell
+ * flip points, and dynamics-RNG consumption - to the legacy per-call
+ * path issuing the same queries at the same ticks.
  */
 TEST(MeasureContextTest, BitIdenticalToLegacyPathAcrossCatalog) {
-  for (const char* name : {"H1", "M1", "S2", "Chip0"}) {
+  for (const std::string& name : AllDeviceNames()) {
     SCOPED_TRACE(name);
     const TestedChip chip = MakeTestedChip(name);
     TrapFaultEngine legacy(chip.fault, chip.device.seed,
@@ -180,6 +229,139 @@ TEST(MeasureContextTest, BitIdenticalToLegacyPathAcrossCatalog) {
       }
     }
   }
+}
+
+/**
+ * The DESIGN.md §10 contract: the bank-wide batched kernel — SoA
+ * gather, SIMD-dispatched decay blend, arena-backed storage — is
+ * bit-identical per row to the scalar MeasureContext path driven in
+ * the same lockstep, including each row's dynamics-RNG consumption.
+ * Also exercises the mixed-history fallback by measuring one batch row
+ * through the scalar path mid-series on both engines.
+ */
+TEST(BatchMeasureContextTest, BitIdenticalToScalarContextLockstep) {
+  for (const char* name : {"H0", "M2", "S0", "Chip1"}) {
+    SCOPED_TRACE(name);
+    const TestedChip chip = MakeTestedChip(name);
+    TrapFaultEngine scalar(chip.fault, chip.device.seed,
+                           chip.device.org);
+    TrapFaultEngine batched(chip.fault, chip.device.seed,
+                            chip.device.org);
+    const dram::CellEncodingLayout encoding(chip.device.seed,
+                                            chip.device.anti_cell_fraction);
+    const Tick t_on = chip.device.timing.tRAS;
+    const Celsius temp = 60.0;
+
+    // The first 8 rows with weak cells, plus one deliberately empty
+    // batch member if an early row has none (exercises zero-count
+    // spans in the SoA addressing).
+    std::vector<dram::PhysicalRow> rows;
+    for (dram::RowAddr r = 1; r < 4000 && rows.size() < 8; ++r) {
+      const auto& state = scalar.RowStateOf(0, dram::PhysicalRow{r});
+      if (!state.cells.empty() || rows.size() == 3) {
+        rows.push_back(dram::PhysicalRow{r});
+      }
+    }
+    ASSERT_EQ(rows.size(), 8u);
+
+    // Scalar reference: one per-row context, driven in lockstep.
+    std::vector<MeasureContext> ctxs(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      scalar.MakeMeasureContext(0, rows[r], 0x55, 0xAA, t_on, temp,
+                                encoding, 0, ctxs[r]);
+    }
+    MonotonicArena arena;
+    BatchMeasureContext batch = batched.MakeBatchMeasureContext(
+        0, rows, 0x55, 0xAA, t_on, temp, encoding, 0, arena);
+    ASSERT_EQ(batch.row_count(), rows.size());
+    std::size_t cell_total = 0;
+    for (const MeasureContext& c : ctxs) {
+      cell_total += c.cell_count();
+    }
+    EXPECT_EQ(batch.total_cell_count(), cell_total);
+
+    const Tick deltas[] = {20 * units::kMillisecond,
+                           20 * units::kMillisecond,
+                           7 * units::kMillisecond,
+                           1 * units::kSecond,
+                           20 * units::kMillisecond,
+                           333 * units::kMicrosecond};
+    Tick now = 0;
+    std::vector<double> min_hc(rows.size());
+    std::vector<TrapFaultEngine::CellFlipPoint> flat;
+    std::vector<TrapFaultEngine::CellFlipPoint> scratch;
+    for (int i = 0; i < 120; ++i) {
+      now += deltas[i % 6];
+      if (i % 3 == 2) {
+        batched.BatchPerCellFlipHammerCounts(batch, now, flat);
+        ASSERT_EQ(flat.size(), batch.total_cell_count());
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+          scalar.PerCellFlipHammerCounts(ctxs[r], now, scratch);
+          const auto [begin, count] = batch.RowCellRange(r);
+          ASSERT_EQ(scratch.size(), count);
+          for (std::size_t c = 0; c < scratch.size(); ++c) {
+            EXPECT_EQ(scratch[c].bit_index, flat[begin + c].bit_index);
+            EXPECT_EQ(scratch[c].hammer_count,
+                      flat[begin + c].hammer_count);
+          }
+        }
+      } else {
+        batched.BatchMinFlipHammerCounts(batch, now, min_hc);
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+          EXPECT_EQ(scalar.MinFlipHammerCount(ctxs[r], now), min_hc[r])
+              << "row " << r << " measurement " << i;
+        }
+      }
+      if (i == 60) {
+        // Knock one row out of lockstep through the scalar path on
+        // BOTH engines: the next batch call must take the
+        // mixed-history fallback and still match bit for bit.
+        const Tick skew = now + 3 * units::kMillisecond;
+        scalar.MinFlipHammerCount(ctxs[5], skew);
+        batched.MinFlipHammerCount(
+            0, rows[5], 0x55, 0xAA, t_on, temp, encoding, skew);
+      }
+    }
+  }
+}
+
+/// Rebuilding a hoisted MeasureContext must not grow memory once warm
+/// (the allocation-free steady state the campaign shards rely on).
+TEST(MeasureContextTest, ReuseOverloadMatchesFreshContext) {
+  const TestedChip chip = MakeTestedChip("H1");
+  // `probe` answers which rows have weak cells; `a` and `b` then first
+  // see each row at the same running-clock instant, so their trap
+  // histories stay aligned.
+  TrapFaultEngine probe(chip.fault, chip.device.seed, chip.device.org);
+  TrapFaultEngine a(chip.fault, chip.device.seed, chip.device.org);
+  TrapFaultEngine b(chip.fault, chip.device.seed, chip.device.org);
+  const dram::CellEncodingLayout encoding(chip.device.seed,
+                                          chip.device.anti_cell_fraction);
+  const Tick t_on = chip.device.timing.tRAS;
+
+  MeasureContext reused;
+  Tick now = 0;
+  int compared = 0;
+  for (dram::RowAddr r = 1; r < 200; ++r) {
+    const dram::PhysicalRow row{r};
+    if (probe.RowStateOf(0, row).cells.empty()) {
+      continue;
+    }
+    // Fresh context per row on one engine, one rebuilt-in-place
+    // context on the other: identical series.
+    MeasureContext fresh = a.MakeMeasureContext(
+        0, row, 0xFF, 0x00, t_on, 55.0, encoding, now);
+    b.MakeMeasureContext(0, row, 0xFF, 0x00, t_on, 55.0, encoding, now,
+                         reused);
+    EXPECT_EQ(fresh.cell_count(), reused.cell_count());
+    for (int i = 0; i < 12; ++i) {
+      now += 15 * units::kMillisecond;
+      EXPECT_EQ(a.MinFlipHammerCount(fresh, now),
+                b.MinFlipHammerCount(reused, now));
+    }
+    ++compared;
+  }
+  EXPECT_GT(compared, 3);
 }
 
 }  // namespace

@@ -1,0 +1,23 @@
+// kernel-allocation fixture: heap allocation and container growth in
+// a kernel-path file. Violations: the `new` (line 8), make_unique
+// (line 9), push_back without reserve (line 11), and resize (line 17).
+#include <memory>
+#include <vector>
+
+void KernelStep(std::vector<double>& decay, std::vector<int>& out) {
+  double* scratch = new double[8];
+  auto owned = std::make_unique<int>(4);
+  std::vector<int> grown;
+  grown.push_back(1);
+
+  std::vector<int> sized;
+  sized.reserve(4);
+  sized.push_back(2);  // reserve-paired: legal
+
+  decay.resize(8);
+
+  // vrdlint: allow(kernel-allocation) -- memo growth, not steady state
+  out.emplace_back(3);
+  (void)scratch;
+  (void)owned;
+}

@@ -144,6 +144,51 @@ TEST(VrdlintCampaignDiscipline, OnlyAppliesToTheBenchLayer) {
           .empty());
 }
 
+TEST(VrdlintKernelAllocation, FlagsGrowthAndHeapInKernelPathsOnly) {
+  Config config;
+  config.kernel_paths = {"kernel_allocation"};
+  const std::vector<Diagnostic> found =
+      LintFixture("kernel_allocation.cc", config);
+  // The reserve-paired push_back (line 15) and the annotated
+  // emplace_back (line 20) are legal; the bare new, make_unique,
+  // unreserved push_back, and resize fire.
+  EXPECT_EQ(Locations(found),
+            (std::vector<std::string>{
+                "8: kernel-allocation",
+                "9: kernel-allocation",
+                "11: kernel-allocation",
+                "17: kernel-allocation",
+            }));
+  ASSERT_EQ(found.size(), 4u);
+  EXPECT_NE(found[2].message.find("'grown.push_back' with no earlier "
+                                  "'grown.reserve(...)'"),
+            std::string::npos);
+  // The same source outside the configured kernel paths is
+  // unconstrained: the rule is opt-in per file.
+  EXPECT_TRUE(LintFixture("kernel_allocation.cc").empty());
+}
+
+TEST(VrdlintKernelAllocation, KernelPathConfigKeyDesignatesFiles) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(vrdlint::ParseConfigText(
+      "[kernel-allocation]\nkernel-path = src/vrd/trap_engine.cc\n",
+      &config, &error))
+      << error;
+  EXPECT_EQ(config.kernel_paths,
+            (std::vector<std::string>{"src/vrd/trap_engine.cc"}));
+  const std::string source =
+      "void Hot(std::vector<int>& v) {\n"
+      "  v.push_back(1);\n"
+      "}\n";
+  EXPECT_EQ(
+      Locations(vrdlint::LintSource("src/vrd/trap_engine.cc", source,
+                                    config)),
+      (std::vector<std::string>{"2: kernel-allocation"}));
+  EXPECT_TRUE(
+      vrdlint::LintSource("src/core/campaign.cc", source, config).empty());
+}
+
 TEST(VrdlintHeaderHygiene, FlagsMissingGuardAndUsingNamespace) {
   EXPECT_EQ(Locations(LintFixture("header_bad.h")),
             (std::vector<std::string>{"1: header-hygiene",

@@ -1012,6 +1012,169 @@ void CheckCampaignDiscipline(const std::string& path, const FileView& view,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: kernel-allocation
+// ---------------------------------------------------------------------------
+
+/// True for files designated as measurement kernels in the config.
+bool IsKernelPath(const Config& config, std::string_view path) {
+  for (const std::string& fragment : config.kernel_paths) {
+    if (path.find(fragment) != std::string_view::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Object expression preceding a `.method` / `->method` use: walks
+/// back over identifier characters and member accessors, so
+/// `state.traps.push_back` yields "state.traps" and
+/// `slot->decay.resize` yields "slot->decay". Empty when the method
+/// is not reached through a plain accessor chain.
+std::string_view ObjectExpressionBefore(std::string_view text,
+                                        std::size_t method_pos) {
+  std::size_t i = method_pos;
+  if (i >= 1 && text[i - 1] == '.') {
+    i -= 1;
+  } else if (i >= 2 && text[i - 2] == '-' && text[i - 1] == '>') {
+    i -= 2;
+  } else {
+    return {};
+  }
+  const std::size_t end = i;
+  while (i > 0) {
+    if (IsIdentChar(text[i - 1])) {
+      --i;
+    } else if (text[i - 1] == '.') {
+      --i;
+    } else if (i >= 2 && text[i - 2] == '-' && text[i - 1] == '>') {
+      i -= 2;
+    } else {
+      break;
+    }
+  }
+  while (i < end && !IsIdentStart(text[i])) {
+    ++i;
+  }
+  return text.substr(i, end - i);
+}
+
+/// True when `<obj>.reserve` / `<obj>->reserve` appears before flat
+/// offset `before` — the capacity was provisioned, so the growth call
+/// is not a steady-state allocation.
+bool HasEarlierReserve(std::string_view flat, std::string_view obj,
+                       std::size_t before) {
+  if (obj.empty()) {
+    return false;
+  }
+  for (const std::string_view accessor : {".reserve", "->reserve"}) {
+    std::string needle(obj);
+    needle += accessor;
+    std::size_t pos = 0;
+    while ((pos = flat.find(needle, pos)) != std::string_view::npos &&
+           pos < before) {
+      if (pos == 0 || !IsIdentChar(flat[pos - 1])) {
+        return true;
+      }
+      ++pos;
+    }
+  }
+  return false;
+}
+
+/// The measurement kernel must stay allocation-free end to end
+/// (DESIGN.md §10): in kernel-path files, flag `new` expressions,
+/// make_unique/make_shared, and container growth whose capacity was
+/// not provisioned by an earlier reserve. Construction-time growth is
+/// excused by pairing it with a reserve or by
+/// `// vrdlint: allow(kernel-allocation)`.
+void CheckKernelAllocation(const std::string& path, const FileView& view,
+                           const Config& config,
+                           std::vector<Diagnostic>* diagnostics) {
+  if (!IsKernelPath(config, path) ||
+      RuleSuppressedForPath(config, "kernel-allocation", path)) {
+    return;
+  }
+  const std::string_view flat = view.flat;
+
+  std::size_t pos = 0;
+  while ((pos = FindWord(flat, "new", pos)) != std::string_view::npos) {
+    const std::size_t here = pos;
+    pos += 3;
+    const std::size_t after = SkipSpace(flat, here + 3);
+    if (after >= flat.size() ||
+        (!IsIdentStart(flat[after]) && flat[after] != '(')) {
+      continue;  // not an allocation expression
+    }
+    const std::size_t line = view.LineOf(here);
+    if (view.Allowed(line, {"kernel-allocation"})) {
+      continue;
+    }
+    diagnostics->push_back(Diagnostic{
+        path, line, "kernel-allocation",
+        "`new` in a kernel path: the measurement kernel must stay "
+        "allocation-free (DESIGN.md §10); allocate at construction or "
+        "annotate with // vrdlint: allow(kernel-allocation)"});
+  }
+
+  for (const std::string_view maker : {"make_unique", "make_shared"}) {
+    pos = 0;
+    while ((pos = FindWord(flat, maker, pos)) != std::string_view::npos) {
+      const std::size_t here = pos;
+      pos += maker.size();
+      std::size_t p = SkipSpace(flat, here + maker.size());
+      if (p < flat.size() && flat[p] == '<') {
+        const std::size_t close = MatchBracket(flat, p, '<', '>');
+        if (close == std::string_view::npos) {
+          continue;
+        }
+        p = SkipSpace(flat, close + 1);
+      }
+      if (p >= flat.size() || flat[p] != '(') {
+        continue;
+      }
+      const std::size_t line = view.LineOf(here);
+      if (view.Allowed(line, {"kernel-allocation"})) {
+        continue;
+      }
+      diagnostics->push_back(Diagnostic{
+          path, line, "kernel-allocation",
+          std::string(maker) +
+              " in a kernel path: the measurement kernel must stay "
+              "allocation-free (DESIGN.md §10); allocate at construction "
+              "or annotate with // vrdlint: allow(kernel-allocation)"});
+    }
+  }
+
+  for (const std::string_view method :
+       {"push_back", "emplace_back", "resize"}) {
+    pos = 0;
+    while ((pos = FindWord(flat, method, pos)) != std::string_view::npos) {
+      const std::size_t here = pos;
+      pos += method.size();
+      const std::size_t after = SkipSpace(flat, here + method.size());
+      if (after >= flat.size() || flat[after] != '(') {
+        continue;
+      }
+      const std::string_view obj = ObjectExpressionBefore(flat, here);
+      if (obj.empty() || HasEarlierReserve(flat, obj, here)) {
+        continue;
+      }
+      const std::size_t line = view.LineOf(here);
+      if (view.Allowed(line, {"kernel-allocation"})) {
+        continue;
+      }
+      diagnostics->push_back(Diagnostic{
+          path, line, "kernel-allocation",
+          "'" + std::string(obj) + "." + std::string(method) +
+              "' with no earlier '" + std::string(obj) +
+              ".reserve(...)': growth in a kernel path allocates "
+              "(DESIGN.md §10); reserve the capacity at construction or "
+              "annotate with // vrdlint: allow(kernel-allocation)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: header-hygiene
 // ---------------------------------------------------------------------------
 
@@ -1078,6 +1241,7 @@ std::vector<Diagnostic> LintSourceImpl(
   CheckRngInDispatchLambdas(path, view, config, decls, &diagnostics);
   CheckCatchAllSwallow(path, view, config, &diagnostics);
   CheckCampaignDiscipline(path, view, config, &diagnostics);
+  CheckKernelAllocation(path, view, config, &diagnostics);
   CheckHeaderHygiene(path, view, config, &diagnostics);
   SortDiagnostics(&diagnostics);
   return diagnostics;
@@ -1149,6 +1313,8 @@ bool ParseConfigText(std::string_view text, Config* config,
     } else if (section == "unordered-iteration" &&
                key == "ordering-call") {
       config->ordering_calls.push_back(value);
+    } else if (section == "kernel-allocation" && key == "kernel-path") {
+      config->kernel_paths.push_back(value);
     } else {
       *error = "config line " + std::to_string(lineno) +
                ": unknown key '" + key + "' in section [" + section + "]";

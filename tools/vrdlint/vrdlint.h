@@ -30,6 +30,16 @@
  *                          through the registry driver's cached path
  *                          (core::RunCampaignCached) so `vrdrepro run
  *                          --all` executes each unique campaign once
+ *  - kernel-allocation     heap allocation in measurement-kernel files
+ *                          (the `kernel-path` entries of the config):
+ *                          `new` expressions, make_unique/make_shared,
+ *                          and container growth (push_back /
+ *                          emplace_back / resize) on an object with no
+ *                          earlier `.reserve(...)` in the file — the
+ *                          hot path must stay allocation-free
+ *                          (DESIGN.md §10); construction-time growth
+ *                          is excused by pairing it with a reserve or
+ *                          by annotation
  *
  * Suppressions are written in the source, next to the code they
  * excuse: `// vrdlint: allow(<rule-or-token>[, ...])` on the flagged
@@ -96,6 +106,10 @@ struct Config {
   /// Functions that turn an unordered container into a deterministic
   /// sequence, making range-for over the call result legal.
   std::vector<std::string> ordering_calls = {"SortedByKey", "SortedKeys"};
+  /// Path substrings naming measurement-kernel files: only these are
+  /// subject to the kernel-allocation rule. Empty by default (the rule
+  /// is opt-in per file).
+  std::vector<std::string> kernel_paths;
   /// rule name -> path substrings where the rule is suppressed.
   std::map<std::string, std::vector<std::string>> allow_paths;
   /// Internal: set once the first `scan =` line replaces the default
