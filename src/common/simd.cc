@@ -15,7 +15,11 @@ void OccupancyBlendScalar(double* dst, const double* occupancy,
                           const double* prev, const double* decay,
                           std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
-    dst[i] = occupancy[i] + (prev[i] - occupancy[i]) * decay[i];
+    // Product before add, in a named temporary: inline `a + b * c` is
+    // FMA-contractable, and a fused rounding here would break the
+    // scalar-vs-AVX2 bit-equality this file exists to guarantee.
+    const double relax = (prev[i] - occupancy[i]) * decay[i];
+    dst[i] = occupancy[i] + relax;
   }
 }
 

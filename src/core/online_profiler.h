@@ -11,11 +11,17 @@
  * itself. The adaptive guardband widens when minima keep being
  * discovered (the row is VRD-active) and narrows as the estimate
  * stabilizes, bounded below by `min_guardband`.
+ *
+ * Thread safety: maintenance windows run on a background thread while
+ * the mitigation polls RecommendedThreshold() from the request path,
+ * so every estimate field is guarded by `mu_` (and annotated for the
+ * vrdlint lock-discipline rule, which verifies the coverage).
  */
 #ifndef VRDDRAM_CORE_ONLINE_PROFILER_H
 #define VRDDRAM_CORE_ONLINE_PROFILER_H
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 
 #include "core/rdt_profiler.h"
@@ -49,11 +55,15 @@ class OnlineRdtProfiler {
 
   /// Running minimum observed so far (nullopt before the first flip).
   std::optional<std::uint64_t> observed_min() const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return observed_min_;
   }
 
   /// Current adaptive guardband fraction.
-  double guardband() const { return guardband_; }
+  double guardband() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return guardband_;
+  }
 
   /**
    * Threshold to program into the mitigation right now: the running
@@ -62,18 +72,32 @@ class OnlineRdtProfiler {
    */
   std::optional<std::uint64_t> RecommendedThreshold() const;
 
-  std::size_t windows_run() const { return windows_run_; }
-  std::size_t discoveries() const { return discoveries_; }
+  std::size_t windows_run() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return windows_run_;
+  }
+  std::size_t discoveries() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return discoveries_;
+  }
 
  private:
   dram::Device* device_;
   dram::RowAddr victim_;
   OnlineProfilerConfig config_;
   RdtProfiler profiler_;
+  /// Guards every estimate field below: windows mutate them on the
+  /// maintenance thread while the mitigation reads the recommendation.
+  mutable std::mutex mu_;
+  // vrdlint: guarded_by(mu_)
   std::optional<std::uint64_t> rdt_guess_;
+  // vrdlint: guarded_by(mu_)
   std::optional<std::uint64_t> observed_min_;
+  // vrdlint: guarded_by(mu_)
   double guardband_;
+  // vrdlint: guarded_by(mu_)
   std::size_t windows_run_ = 0;
+  // vrdlint: guarded_by(mu_)
   std::size_t discoveries_ = 0;
 };
 

@@ -78,7 +78,12 @@ TrapFaultEngine::RowState TrapFaultEngine::BuildRowState(
     cell.bit_index = static_cast<std::uint32_t>(rng.NextBelow(row_bits));
     cell.threshold = profile_.median_rdt * row_scale *
                      rng.NextLognormal(0.0, profile_.sigma_rdt_cell);
-    cell.alpha_above = 0.3 + 0.4 * rng.NextDouble();
+    // Products are computed into named temporaries before the adds
+    // throughout this file: `a + b * c` written inline is
+    // FMA-contractable, and one fused rounding on the scalar path
+    // would break scalar-vs-AVX2 bit-equality (DESIGN.md §6).
+    const double alpha_span = 0.4 * rng.NextDouble();
+    cell.alpha_above = 0.3 + alpha_span;
     cell.temp_beta =
         rng.NextGaussian(profile_.temp_beta_mean, profile_.temp_beta_sigma);
     // Per-cell noise magnitude: a minority of cells are quiet enough
@@ -98,7 +103,8 @@ TrapFaultEngine::RowState TrapFaultEngine::BuildRowState(
     const std::size_t fast_traps = fast_trap_sampler_(rng);
     for (std::size_t t = 0; t < fast_traps; ++t) {
       Trap trap;
-      trap.occupancy = 0.15 + 0.70 * rng.NextDouble();
+      const double occ_span = 0.70 * rng.NextDouble();
+      trap.occupancy = 0.15 + occ_span;
       trap.rate_hz =
           log_uniform(profile_.fast_rate_lo_hz, profile_.fast_rate_hi_hz);
       trap.weight = profile_.fast_weight_med * rng.NextLognormal(0.0, 0.25);
@@ -108,10 +114,10 @@ TrapFaultEngine::RowState TrapFaultEngine::BuildRowState(
     }
     if (rng.NextBernoulli(profile_.rare_trap_prob)) {
       Trap trap;
-      const double exponent =
-          profile_.rare_occupancy_exp_lo +
+      const double exp_span =
           (profile_.rare_occupancy_exp_hi - profile_.rare_occupancy_exp_lo) *
-              rng.NextDouble();
+          rng.NextDouble();
+      const double exponent = profile_.rare_occupancy_exp_lo + exp_span;
       trap.occupancy = std::pow(10.0, -exponent);
       trap.rate_hz =
           log_uniform(profile_.rare_rate_lo_hz, profile_.rare_rate_hi_hz);
@@ -122,7 +128,8 @@ TrapFaultEngine::RowState TrapFaultEngine::BuildRowState(
     }
     if (rng.NextBernoulli(profile_.heavy_trap_prob)) {
       Trap trap;
-      trap.occupancy = 0.10 + 0.40 * rng.NextDouble();
+      const double occ_span = 0.40 * rng.NextDouble();
+      trap.occupancy = 0.10 + occ_span;
       trap.rate_hz = log_uniform(10.0, 100.0);
       trap.weight = profile_.heavy_weight_med * rng.NextLognormal(0.0, 0.4);
       trap.occupied = rng.NextBernoulli(trap.occupancy);
@@ -131,11 +138,13 @@ TrapFaultEngine::RowState TrapFaultEngine::BuildRowState(
     }
     if (rng.NextBernoulli(profile_.bimodal_trap_prob)) {
       Trap trap;
-      trap.occupancy = 0.25 + 0.30 * rng.NextDouble();
+      const double occ_span = 0.30 * rng.NextDouble();
+      trap.occupancy = 0.25 + occ_span;
       // Fast enough to decorrelate between measurements: the paper's
       // bimodal HBM chip still shows a white-noise-like ACF.
       trap.rate_hz = log_uniform(30.0, 300.0);
-      trap.weight = profile_.bimodal_weight * (0.8 + 0.4 * rng.NextDouble());
+      const double weight_jitter = 0.4 * rng.NextDouble();
+      trap.weight = profile_.bimodal_weight * (0.8 + weight_jitter);
       trap.occupied = rng.NextBernoulli(trap.occupancy);
       trap.last_sample = now;
       state.traps.push_back(trap);
@@ -250,8 +259,8 @@ double TrapFaultEngine::SampleTrapBoost(RowState& state, WeakCell& cell,
     const double rate = trap.rate_hz * q10_scale;
     const double decay = std::exp(-rate * dt);
     const double prev = trap.occupied ? 1.0 : 0.0;
-    const double p_occupied =
-        trap.occupancy + (prev - trap.occupancy) * decay;
+    const double relax = (prev - trap.occupancy) * decay;
+    const double p_occupied = trap.occupancy + relax;
     trap.occupied = state.dynamics_rng.NextBernoulli(p_occupied);
     trap.last_sample = now;
     if (trap.occupied) {
@@ -363,9 +372,10 @@ void TrapFaultEngine::Evaluate(const dram::VictimContext& ctx,
     // Coupling by aggressor-bit slot: opposite bits couple fully.
     const std::size_t opp = victim_bit ? 0 : 1;
     const std::size_t same = victim_bit ? 1 : 0;
-    double exposure = cell.dose[opp] * cell.aggr_jitter[opp] +
-                      cell.dose[same] * cell.aggr_jitter[same] *
-                          profile_.same_bit_factor;
+    const double opp_part = cell.dose[opp] * cell.aggr_jitter[opp];
+    const double same_part = cell.dose[same] * cell.aggr_jitter[same] *
+                             profile_.same_bit_factor;
+    double exposure = opp_part + same_part;
     exposure *= cell.victim_jitter[victim_bit ? 1 : 0];
     if (!ctx.encoding->IsCharged(ctx.row, victim_bit)) {
       exposure *= profile_.discharged_factor;
@@ -502,15 +512,16 @@ void TrapFaultEngine::ForEachFlipPoint(MeasureContext& ctx, Tick now,
         d = std::exp(-ctx.rate_scaled_[i] * dt);
       }
       const double prev = static_cast<double>(trap.occupied);
-      const double p_occupied =
-          trap.occupancy + (prev - trap.occupancy) * d;
+      const double relax = (prev - trap.occupancy) * d;
+      const double p_occupied = trap.occupancy + relax;
       const bool occupied = rng.NextBernoulli(p_occupied);
       trap.occupied = occupied;
       trap.last_sample = now;
       // weight*1.0 and +0.0 are exact, so this matches the per-call
       // path's `if (occupied) boost += weight` bit for bit without its
       // data-dependent branch.
-      boost += trap.weight * static_cast<double>(occupied);
+      const double hit = trap.weight * static_cast<double>(occupied);
+      boost += hit;
     }
     const double per_hammer = cell.per_hammer_fixed * (1.0 + boost);
     const double noise = std::max(
@@ -727,12 +738,13 @@ void TrapFaultEngine::ForEachBatchFlipPoint(BatchMeasureContext& ctx,
           d = std::exp(-soa.rate_scaled[i] * dt);
         }
         const double prev = static_cast<double>(trap->occupied);
-        const double p =
-            trap->occupancy + (prev - trap->occupancy) * d;
+        const double relax = (prev - trap->occupancy) * d;
+        const double p = trap->occupancy + relax;
         const bool occupied = rng.NextBernoulli(p);
         trap->occupied = occupied;
         trap->last_sample = now;
-        boost += trap->weight * static_cast<double>(occupied);
+        const double hit = trap->weight * static_cast<double>(occupied);
+        boost += hit;
       }
       const double per_hammer = cell.per_hammer_fixed * (1.0 + boost);
       const double noise = std::max(

@@ -1,0 +1,51 @@
+// float-determinism fixture: FMA-contractable shapes (the file is a
+// configured float-path) and cross-task float accumulation. NOT
+// compiled.
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fixture {
+
+double MulAdd(double a, double b, double c) {
+  return a * b + c;  // contractable: multiply and add at one depth
+}
+
+double CompoundMul(double acc, double w, double x) {
+  acc += w * x;  // contractable compound accumulation
+  return acc;
+}
+
+double Split(double a, double b, double c) {
+  const double prod = a * b;  // legal: product in a named temporary
+  return prod + c;
+}
+
+double ParenDepth(double a, double b, double c) {
+  return a * (b + c);  // legal: the add rounds at a deeper depth
+}
+
+int IntegerMulAdd(int p, int q, int r) {
+  return p * q + r;  // legal: no float operand, contraction is exact
+}
+
+void Accumulate(vrddram::ThreadPool& pool, std::vector<double>& xs,
+                double& total) {
+  pool.ParallelFor(xs.size(), [&](std::size_t i) {
+    total += xs[i];  // accumulation order depends on the schedule
+  });
+}
+
+void LocalAccumulate(vrddram::ThreadPool& pool,
+                     std::vector<double>& xs) {
+  pool.ParallelFor(xs.size(), [&](std::size_t i) {
+    double local = 0.0;
+    local += xs[i];  // legal: per-task local accumulator
+    (void)local;
+  });
+}
+
+// vrdlint: allow(float-determinism) -- reference path, never compared
+double Allowed(double a, double b, double c) { return a * b + c; }
+
+}  // namespace fixture

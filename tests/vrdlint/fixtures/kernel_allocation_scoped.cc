@@ -1,0 +1,29 @@
+// kernel-allocation fixture: scope-aware reserve pairing. The
+// constructor reserves *below* the method that grows, which the old
+// file-order heuristic flagged as unreserved growth; the scope-aware
+// rule resolves the reserve to a different function scope and excuses
+// it. Same-scope reserves must still precede the growth textually.
+// NOT compiled.
+#include <vector>
+
+namespace fixture {
+
+class Shard {
+ public:
+  void Push(double value) {
+    samples_.push_back(value);  // legal: reserved in the constructor
+  }
+
+  Shard() { samples_.reserve(1024); }
+
+  void Grow() {
+    scratch_.push_back(0.0);  // violation: reserve comes after, in scope
+    scratch_.reserve(8);
+  }
+
+ private:
+  std::vector<double> samples_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace fixture

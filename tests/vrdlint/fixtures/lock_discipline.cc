@@ -1,0 +1,58 @@
+// lock-discipline fixture: guarded_by coverage inside methods and a
+// tree-wide lock-ordering inversion. NOT compiled.
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Locked() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++count_;  // legal: mu_ held
+  }
+
+  void Unlocked() {
+    ++count_;  // violation: mu_ not held
+  }
+
+  // vrdlint: requires_lock(mu_)
+  void CallerHolds() {
+    ++count_;  // legal: caller-holds contract
+  }
+
+  void Allowed() {
+    ++count_;  // vrdlint: allow(lock-discipline) -- racy stats are fine
+  }
+
+  int ScopedTooNarrow() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++count_;  // legal: inside the guarded block
+    }
+    return count_;  // violation: the guard's block already closed
+  }
+
+ private:
+  mutable std::mutex mu_;
+  // vrdlint: guarded_by(mu_)
+  int count_ = 0;
+};
+
+class Orderer {
+ public:
+  void AThenB() {
+    const std::lock_guard<std::mutex> a(mu_a_);
+    const std::lock_guard<std::mutex> b(mu_b_);
+  }
+
+  void BThenA() {
+    const std::lock_guard<std::mutex> b(mu_b_);
+    const std::lock_guard<std::mutex> a(mu_a_);  // order inversion
+  }
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+};
+
+}  // namespace fixture

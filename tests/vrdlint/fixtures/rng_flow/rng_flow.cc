@@ -1,0 +1,50 @@
+// rng-flow fixture: symbol-aware RNG dataflow violations and their
+// legal counterparts. The paired shard_math.h declares the cross-file
+// callee. NOT compiled.
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "shard_math.h"
+
+namespace fixture {
+
+// (a) explicit by-reference capture of the shared stream.
+void CaptureByRef(vrddram::ThreadPool& pool, vrddram::Rng& rng,
+                  std::vector<double>* out) {
+  pool.ParallelFor(out->size(), [&rng, out](std::size_t i) {
+    (*out)[i] = rng.NextDouble();
+  });
+}
+
+// (b) the shared stream crosses a function boundary into per-shard
+// code; the callee lives in the paired header.
+void BoundaryCall(vrddram::ThreadPool& pool, vrddram::Rng& rng,
+                  std::vector<double>* out) {
+  pool.ParallelFor(4, [&](std::size_t shard) {
+    (void)shard;
+    FillShard(out, rng);
+  });
+}
+
+// (c) re-seeded from an expression not rooted in a seed-call.
+void ReseedFromIndex(vrddram::Rng& rng, std::size_t i) {
+  rng.Reseed(i * 1337);
+}
+
+// Seed-rooted re-seed: legal.
+void ReseedFromMix(vrddram::Rng& rng, std::uint64_t seed) {
+  rng.Reseed(MixSeed(seed, 7));
+}
+
+// Pre-forked per-shard streams: the dispatch is excused.
+void Forked(vrddram::ThreadPool& pool, vrddram::Rng& rng,
+            std::vector<double>* out) {
+  auto streams = rng.Fork(4);
+  pool.ParallelFor(4, [&](std::size_t shard) {
+    FillShard(out, streams[shard]);
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// rng-flow fixture header: declares the per-shard helpers the paired
+// rng_flow.cc calls across a function boundary, so the rule has to
+// resolve the callee signature through the tree-wide symbol index.
+// NOT compiled.
+#ifndef VRDLINT_FIXTURE_RNG_FLOW_SHARD_MATH_H
+#define VRDLINT_FIXTURE_RNG_FLOW_SHARD_MATH_H
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fixture {
+
+// Non-const Rng&: a call site inside a dispatch lambda that passes a
+// shared stream here advances it in pool order.
+void FillShard(std::vector<double>* out, vrddram::Rng& rng);
+
+// Const ref is read-only and never flagged.
+double ReadShard(const vrddram::Rng& rng);
+
+}  // namespace fixture
+
+#endif  // VRDLINT_FIXTURE_RNG_FLOW_SHARD_MATH_H

@@ -76,15 +76,26 @@ def main(argv=None):
         print(f"{name:<{width}}  base {base:>12.0f} ns  "
               f"cand {cand:>12.0f} ns  x{ratio:.2f}  {verdict}")
 
-    skipped = sorted(set(baseline) ^ set(candidate))
-    if skipped:
-        print(f"bench_compare: not in both files, skipped: "
-              f"{', '.join(skipped)}")
+    extra = sorted(set(candidate) - set(baseline))
+    if extra:
+        print(f"bench_compare: not in baseline, skipped: "
+              f"{', '.join(extra)}")
+    # A baseline benchmark with no candidate counterpart usually means
+    # a benchmark was renamed or silently dropped — a gap the
+    # regression gate cannot see through, so it gets its own exit code
+    # (3) distinct from a measured regression (1).
+    missing = sorted(set(baseline) - set(candidate))
+    if missing:
+        print(f"bench_compare: {len(missing)} baseline benchmark(s) "
+              f"missing from candidate: {', '.join(missing)}",
+              file=sys.stderr)
     if regressions:
         print(f"bench_compare: {len(regressions)} benchmark(s) regressed "
               f"beyond {args.tolerance:.0%}: {', '.join(regressions)}",
               file=sys.stderr)
         return 1
+    if missing:
+        return 3
     print(f"bench_compare: {len(shared)} benchmark(s) within "
           f"{args.tolerance:.0%} of baseline")
     return 0

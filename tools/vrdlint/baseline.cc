@@ -1,0 +1,174 @@
+#include "baseline.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "tokenizer.h"
+
+namespace vrdlint {
+namespace {
+
+constexpr std::string_view kHeader = "# vrdlint baseline v1";
+
+std::string HexHash(std::uint64_t hash) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+bool ParseHexHash(std::string_view text, std::uint64_t* hash) {
+  if (text.size() != 16) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *hash = value;
+  return true;
+}
+
+std::vector<std::string_view> SplitTabs(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', begin);
+    if (tab == std::string_view::npos) {
+      out.push_back(line.substr(begin));
+      return out;
+    }
+    out.push_back(line.substr(begin, tab - begin));
+    begin = tab + 1;
+  }
+}
+
+}  // namespace
+
+std::uint64_t HashLineContent(std::string_view line) {
+  const std::string trimmed = Trim(line);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (const char c : trimmed) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;  // FNV-1a 64 prime
+  }
+  return hash;
+}
+
+bool ParseBaselineText(std::string_view text, Baseline* baseline,
+                       std::string* error) {
+  baseline->clear();
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  for (const std::string& raw : SplitLines(text)) {
+    ++line_no;
+    const std::string line = Trim(raw);
+    if (line.empty()) {
+      continue;
+    }
+    if (!saw_header) {
+      if (line != kHeader) {
+        *error = "baseline line 1: expected header '" +
+                 std::string(kHeader) + "'";
+        return false;
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line[0] == '#') {
+      continue;
+    }
+    const std::vector<std::string_view> fields = SplitTabs(line);
+    std::uint64_t hash = 0;
+    std::size_t count = 0;
+    bool count_ok = !fields.empty();
+    if (fields.size() == 4) {
+      for (const char c : fields[3]) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          count_ok = false;
+          break;
+        }
+        count = count * 10 + static_cast<std::size_t>(c - '0');
+      }
+    }
+    if (fields.size() != 4 || fields[0].empty() || fields[1].empty() ||
+        !ParseHexHash(fields[2], &hash) || !count_ok || count == 0) {
+      *error = "baseline line " + std::to_string(line_no) +
+               ": expected 'rule<TAB>file<TAB>hash16<TAB>count'";
+      return false;
+    }
+    (*baseline)[std::make_tuple(std::string(fields[0]),
+                                std::string(fields[1]), hash)] += count;
+  }
+  if (!saw_header && !Trim(text).empty()) {
+    *error = "baseline: missing header '" + std::string(kHeader) + "'";
+    return false;
+  }
+  return true;
+}
+
+bool LoadBaselineFile(const std::string& path, Baseline* baseline,
+                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open baseline file: " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseBaselineText(text.str(), baseline, error);
+}
+
+std::string BaselineText(const std::vector<Diagnostic>& diagnostics) {
+  Baseline counts;
+  for (const Diagnostic& diag : diagnostics) {
+    counts[std::make_tuple(diag.rule, diag.file, diag.content_hash)] += 1;
+  }
+  std::string out(kHeader);
+  out += "\n";
+  for (const auto& [key, count] : counts) {
+    const auto& [rule, file, hash] = key;
+    out += rule + "\t" + file + "\t" + HexHash(hash) + "\t" +
+           std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+std::vector<Diagnostic> FilterBaseline(
+    const std::vector<Diagnostic>& diagnostics, const Baseline& baseline,
+    bool* stale) {
+  Baseline remaining = baseline;
+  std::vector<Diagnostic> surviving;
+  for (const Diagnostic& diag : diagnostics) {
+    const auto it = remaining.find(
+        std::make_tuple(diag.rule, diag.file, diag.content_hash));
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    surviving.push_back(diag);
+  }
+  if (stale != nullptr) {
+    *stale = false;
+    for (const auto& [key, count] : remaining) {
+      if (count > 0) {
+        *stale = true;
+        break;
+      }
+    }
+  }
+  return surviving;
+}
+
+}  // namespace vrdlint

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Baseline suppression for vrdlint: a checked-in snapshot of accepted
+ * findings that lets the tree adopt new rules without a flag day.
+ *
+ * Findings are keyed by (rule, file, content-hash-of-line) rather than
+ * line number, so unrelated edits that shift lines do not invalidate
+ * the baseline, while editing the offending line itself does. Counts
+ * are per key: a baseline entry suppresses at most `count` findings
+ * with that key, and any unconsumed entry marks the baseline stale
+ * (debt that has been paid down but not recorded).
+ */
+#ifndef VRDDRAM_TOOLS_VRDLINT_BASELINE_H
+#define VRDDRAM_TOOLS_VRDLINT_BASELINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "vrdlint.h"
+
+namespace vrdlint {
+
+/// (rule, file, content hash) -> number of accepted findings.
+using Baseline =
+    std::map<std::tuple<std::string, std::string, std::uint64_t>,
+             std::size_t>;
+
+/// FNV-1a 64-bit hash of the trimmed source line — the content key
+/// that survives line-number churn.
+std::uint64_t HashLineContent(std::string_view line);
+
+/// Parse baseline text. Returns false (with a message in `error`) on
+/// an unrecognized header or a malformed record.
+bool ParseBaselineText(std::string_view text, Baseline* baseline,
+                       std::string* error);
+
+/// Load a baseline file from disk. A missing file is an error.
+bool LoadBaselineFile(const std::string& path, Baseline* baseline,
+                      std::string* error);
+
+/// Serialize diagnostics as baseline text (sorted, TAB-separated).
+std::string BaselineText(const std::vector<Diagnostic>& diagnostics);
+
+/// Drop every diagnostic covered by the baseline, consuming at most
+/// `count` findings per key. Returns the surviving diagnostics;
+/// `stale` (optional) is set when the baseline still holds unconsumed
+/// entries afterwards — the recorded debt overstates reality.
+std::vector<Diagnostic> FilterBaseline(
+    const std::vector<Diagnostic>& diagnostics, const Baseline& baseline,
+    bool* stale);
+
+}  // namespace vrdlint
+
+#endif  // VRDDRAM_TOOLS_VRDLINT_BASELINE_H

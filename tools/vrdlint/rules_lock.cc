@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Rule family: lock-discipline — the annotation-driven concurrency
+ * contract for shared mutable state (landing ahead of the fleet-scale
+ * online profiling service, ROADMAP item 1):
+ *
+ *  - a member annotated `// vrdlint: guarded_by(mu_)` may only be
+ *    touched inside methods of its class while `mu_` is held — held
+ *    meaning a lock_guard/scoped_lock/unique_lock/shared_lock naming
+ *    the mutex earlier in the method (still-open block), an explicit
+ *    `mu_.lock()`, or a `// vrdlint: requires_lock(mu_)` annotation
+ *    on the method head declaring the caller-holds contract;
+ *  - every pair of distinctly-named mutexes must be acquired in one
+ *    consistent order across the whole tree: observing both (A then
+ *    B) and (B then A) nestings is deadlock-shaped.
+ *
+ * Constructors and destructors are exempt from coverage (no
+ * concurrent access before/after the object's lifetime).
+ */
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "rules.h"
+
+namespace vrdlint {
+namespace {
+
+constexpr std::string_view kRaiiGuards[] = {
+    "lock_guard", "scoped_lock", "unique_lock", "shared_lock"};
+
+/// One observed lock acquisition inside a function body.
+struct Acquisition {
+  std::string mutex;        // normalized mutex expression text
+  std::size_t pos = 0;      // flat offset of the acquisition
+  std::size_t hold_end = 0; // flat offset where the hold lexically ends
+  bool no_edges = false;    // std::lock(...): simultaneous, unordered
+};
+
+std::string NormalizeMutexExpr(std::string_view expr) {
+  std::string out = Trim(expr);
+  if (out.rfind("this->", 0) == 0) {
+    out = out.substr(6);
+  }
+  if (!out.empty() && out.front() == '&') {
+    out = Trim(out.substr(1));
+  }
+  return out;
+}
+
+/// True when the acquisition expression reaches the mutex member
+/// `name`: exactly, or as the final member of an accessor chain.
+bool MutexMatches(std::string_view expr, std::string_view name) {
+  if (expr == name) {
+    return true;
+  }
+  if (expr.size() > name.size() + 1 &&
+      expr.ends_with(name)) {
+    const std::size_t cut = expr.size() - name.size();
+    if (expr[cut - 1] == '.') {
+      return true;
+    }
+    if (cut >= 2 && expr[cut - 2] == '-' && expr[cut - 1] == '>') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string_view> SplitTopLevel(std::string_view args) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if (c == '(' || c == '[' || c == '{' || c == '<') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}' || c == '>') {
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      out.push_back(args.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  out.push_back(args.substr(begin));
+  return out;
+}
+
+/// Collect every acquisition inside [begin, end) of the flat text.
+std::vector<Acquisition> CollectAcquisitions(const RuleContext& ctx,
+                                             std::size_t begin,
+                                             std::size_t end) {
+  const std::string_view flat = ctx.view.flat;
+  std::vector<Acquisition> acquisitions;
+
+  for (const std::string_view guard : kRaiiGuards) {
+    std::size_t pos = begin;
+    while ((pos = FindWord(flat, guard, pos)) != std::string_view::npos &&
+           pos < end) {
+      const std::size_t here = pos;
+      pos += guard.size();
+      std::size_t p = SkipSpace(flat, here + guard.size());
+      if (p < flat.size() && flat[p] == '<') {
+        const std::size_t close = MatchBracket(flat, p, '<', '>');
+        if (close == std::string_view::npos) {
+          continue;
+        }
+        p = SkipSpace(flat, close + 1);
+      }
+      // Skip the guard variable's name.
+      while (p < flat.size() && IsIdentChar(flat[p])) {
+        ++p;
+      }
+      p = SkipSpace(flat, p);
+      if (p >= flat.size() || (flat[p] != '(' && flat[p] != '{')) {
+        continue;  // a type mention, not a construction
+      }
+      const char close_char = flat[p] == '(' ? ')' : '}';
+      const std::size_t close = MatchBracket(flat, p, flat[p], close_char);
+      if (close == std::string_view::npos) {
+        continue;
+      }
+      const std::string_view args = flat.substr(p + 1, close - p - 1);
+      if (args.find("defer_lock") != std::string_view::npos) {
+        continue;  // constructed unlocked
+      }
+      const int scope = ctx.symbols.ScopeAt(here);
+      const std::size_t hold_end =
+          scope >= 0
+              ? ctx.symbols.scopes[static_cast<std::size_t>(scope)].close
+              : end;
+      for (const std::string_view arg : SplitTopLevel(args)) {
+        const std::string expr = NormalizeMutexExpr(arg);
+        if (expr.empty() ||
+            expr.find("adopt_lock") != std::string::npos ||
+            expr.find("try_to_lock") != std::string::npos) {
+          continue;
+        }
+        acquisitions.push_back(
+            Acquisition{expr, here, std::min(hold_end, end), false});
+      }
+    }
+  }
+
+  // Explicit .lock() / ->lock() and std::lock(a, b, ...).
+  std::size_t pos = begin;
+  while ((pos = FindWord(flat, "lock", pos)) != std::string_view::npos &&
+         pos < end) {
+    const std::size_t here = pos;
+    pos += 4;
+    const std::size_t open = SkipSpace(flat, here + 4);
+    if (open >= flat.size() || flat[open] != '(') {
+      continue;
+    }
+    const std::string_view obj = ObjectExpressionBefore(flat, here);
+    if (!obj.empty()) {
+      acquisitions.push_back(
+          Acquisition{NormalizeMutexExpr(obj), here, end, false});
+      continue;
+    }
+    if (here >= 2 && flat[here - 2] == ':' && flat[here - 1] == ':') {
+      // std::lock(m1, m2): simultaneous deadlock-free acquisition —
+      // coverage counts it, the ordering check must not.
+      const std::size_t close = MatchBracket(flat, open, '(', ')');
+      if (close == std::string_view::npos) {
+        continue;
+      }
+      for (const std::string_view arg :
+           SplitTopLevel(flat.substr(open + 1, close - open - 1))) {
+        const std::string expr = NormalizeMutexExpr(arg);
+        if (!expr.empty()) {
+          acquisitions.push_back(Acquisition{expr, here, end, true});
+        }
+      }
+    }
+  }
+
+  std::sort(acquisitions.begin(), acquisitions.end(),
+            [](const Acquisition& a, const Acquisition& b) {
+              return a.pos < b.pos;
+            });
+  return acquisitions;
+}
+
+bool IsCtorOrDtor(const Scope& scope) {
+  return scope.name.empty() || scope.name.front() == '~' ||
+         scope.name == scope.class_name;
+}
+
+}  // namespace
+
+void CheckLockDiscipline(const RuleContext& ctx,
+                         std::vector<LockOrderEdge>* edges,
+                         std::vector<Diagnostic>* diagnostics) {
+  if (RuleSuppressedForPath(ctx.config, "lock-discipline", ctx.path)) {
+    return;
+  }
+  const std::string_view flat = ctx.view.flat;
+
+  for (const Scope& scope : ctx.symbols.scopes) {
+    if (scope.kind != Scope::Kind::kFunction) {
+      continue;
+    }
+    const std::vector<Acquisition> acquisitions =
+        CollectAcquisitions(ctx, scope.open, scope.close);
+
+    // Ordering edges: B acquired while A's hold is lexically open.
+    for (std::size_t a = 0; a < acquisitions.size(); ++a) {
+      for (std::size_t b = a + 1; b < acquisitions.size(); ++b) {
+        const Acquisition& outer = acquisitions[a];
+        const Acquisition& inner = acquisitions[b];
+        if (outer.no_edges || inner.no_edges ||
+            outer.mutex == inner.mutex ||
+            inner.pos >= outer.hold_end) {
+          continue;
+        }
+        const std::size_t line = ctx.view.LineOf(inner.pos);
+        edges->push_back(LockOrderEdge{
+            outer.mutex, inner.mutex, ctx.path, line,
+            ctx.view.Allowed(line, {"lock-discipline"})});
+      }
+    }
+
+    // guarded_by coverage: only methods of a class with annotations.
+    if (scope.class_name.empty() || IsCtorOrDtor(scope)) {
+      continue;
+    }
+    const auto members_it = ctx.index.members.find(scope.class_name);
+    if (members_it == ctx.index.members.end()) {
+      continue;
+    }
+    for (const MemberVar& member : members_it->second) {
+      if (member.guarded_by.empty()) {
+        continue;
+      }
+      const std::string& guard = member.guarded_by;
+      const bool method_holds =
+          std::find(scope.requires_locks.begin(),
+                    scope.requires_locks.end(),
+                    guard) != scope.requires_locks.end();
+      if (method_holds) {
+        continue;
+      }
+      std::set<std::size_t> reported_lines;
+      std::size_t pos = scope.open;
+      while ((pos = FindWord(flat, member.name, pos)) !=
+                 std::string_view::npos &&
+             pos < scope.close) {
+        const std::size_t here = pos;
+        pos += member.name.size();
+        bool covered = false;
+        for (const Acquisition& acq : acquisitions) {
+          if (acq.pos < here && here < acq.hold_end &&
+              MutexMatches(acq.mutex, guard)) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) {
+          continue;
+        }
+        const std::size_t line = ctx.view.LineOf(here);
+        if (ctx.view.Allowed(line, {"lock-discipline"}) ||
+            !reported_lines.insert(line).second) {
+          continue;
+        }
+        diagnostics->push_back(Diagnostic{
+            ctx.path, line, "lock-discipline",
+            "member '" + member.name + "' is guarded_by(" + guard +
+                ") (" + member.file + ":" +
+                std::to_string(member.line) + ") but '" +
+                scope.class_name + "::" + scope.name +
+                "' touches it without holding '" + guard +
+                "'; lock the mutex, annotate the method with "
+                "// vrdlint: requires_lock(" + guard +
+                "), or annotate with // vrdlint: allow(lock-discipline)"});
+      }
+    }
+  }
+}
+
+void CheckLockOrdering(const std::vector<LockOrderEdge>& edges,
+                       std::vector<Diagnostic>* diagnostics) {
+  // First-seen edge per ordered pair (edges arrive in sorted file
+  // order, so "first-seen" is deterministic).
+  std::map<std::pair<std::string, std::string>, const LockOrderEdge*>
+      first_seen;
+  for (const LockOrderEdge& edge : edges) {
+    first_seen.emplace(std::make_pair(edge.first, edge.second), &edge);
+  }
+  std::set<std::pair<std::string, std::string>> reported;
+  for (const auto& [key, edge] : first_seen) {
+    const auto& [a, b] = key;
+    if (a >= b) {
+      continue;  // visit each unordered pair once, from its (a<b) side
+    }
+    const auto reverse = first_seen.find(std::make_pair(b, a));
+    if (reverse == first_seen.end()) {
+      continue;
+    }
+    const LockOrderEdge* forward = edge;
+    if (forward->allowed || reverse->second->allowed) {
+      continue;
+    }
+    if (!reported.insert(std::make_pair(a, b)).second) {
+      continue;
+    }
+    // At the reverse site, `a` is the inner acquisition (taken while
+    // `b` is held); at the forward site it is the outer one.
+    diagnostics->push_back(Diagnostic{
+        reverse->second->file, reverse->second->line, "lock-discipline",
+        "mutexes '" + a + "' and '" + b +
+            "' are acquired in inconsistent order: '" + a +
+            "' is taken while '" + b + "' is held here, but '" + b +
+            "' is taken while '" + a + "' is held at " + forward->file +
+            ":" + std::to_string(forward->line) +
+            "; pick one order (or std::scoped_lock both) so the "
+            "nesting cannot deadlock"});
+  }
+}
+
+}  // namespace vrdlint

@@ -1,0 +1,135 @@
+#include "sarif.h"
+
+#include <cstdint>
+#include <map>
+
+namespace vrdlint {
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kDigits[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kDigits[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kDigits[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string HexHash(std::uint64_t hash) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SarifReport(const std::vector<Diagnostic>& diagnostics) {
+  // Stable rule table: rule ids in sorted order, indexed by results.
+  std::map<std::string, std::size_t> rule_index;
+  for (const Diagnostic& diag : diagnostics) {
+    rule_index.emplace(diag.rule, 0);
+  }
+  std::size_t next = 0;
+  for (auto& [rule, index] : rule_index) {
+    index = next++;
+  }
+
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"vrdlint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/vrddram/tools/vrdlint\",\n"
+      "          \"rules\": [\n";
+  bool first = true;
+  for (const auto& [rule, index] : rule_index) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "            {\"id\": \"" + JsonEscape(rule) + "\"}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  first = true;
+  for (const Diagnostic& diag : diagnostics) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + JsonEscape(diag.rule) + "\",\n";
+    out += "          \"ruleIndex\": " +
+           std::to_string(rule_index[diag.rule]) + ",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" +
+           JsonEscape(diag.message) + "\"},\n";
+    out +=
+        "          \"locations\": [\n"
+        "            {\n"
+        "              \"physicalLocation\": {\n"
+        "                \"artifactLocation\": {\n"
+        "                  \"uri\": \"" +
+        JsonEscape(diag.file) +
+        "\",\n"
+        "                  \"uriBaseId\": \"SRCROOT\"\n"
+        "                },\n"
+        "                \"region\": {\"startLine\": " +
+        std::to_string(diag.line) +
+        "}\n"
+        "              }\n"
+        "            }\n"
+        "          ],\n";
+    out += "          \"partialFingerprints\": "
+           "{\"vrdlintContentHash\": \"" +
+           HexHash(diag.content_hash) + "\"}\n";
+    out += "        }";
+  }
+  out +=
+      "\n      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace vrdlint

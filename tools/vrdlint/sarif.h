@@ -1,0 +1,24 @@
+/**
+ * @file
+ * SARIF 2.1.0 output for vrdlint, the shape GitHub code scanning
+ * ingests to annotate PR diffs. One run, one driver ("vrdlint"), one
+ * result per diagnostic; paths are emitted repo-relative with a
+ * SRCROOT uriBaseId, and the line-content hash rides along as a
+ * partial fingerprint so annotations survive line-number churn.
+ */
+#ifndef VRDDRAM_TOOLS_VRDLINT_SARIF_H
+#define VRDDRAM_TOOLS_VRDLINT_SARIF_H
+
+#include <string>
+#include <vector>
+
+#include "vrdlint.h"
+
+namespace vrdlint {
+
+/// Serialize diagnostics as a SARIF 2.1.0 JSON document.
+std::string SarifReport(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace vrdlint
+
+#endif  // VRDDRAM_TOOLS_VRDLINT_SARIF_H

@@ -1,1219 +1,30 @@
+/**
+ * @file
+ * vrdlint driver: config parsing, file collection, and the two-pass
+ * lint pipeline. Pass 1 builds a FileView + FileSymbols for every
+ * scanned file and folds them into a tree-wide SymbolIndex; pass 2
+ * runs the rule families (rules_core.cc, rules_rng_flow.cc,
+ * rules_float.cc, rules_lock.cc) per file with the index in hand;
+ * pass 3 runs the global lock-ordering check over the nested-
+ * acquisition edges collected in pass 2.
+ */
 #include "vrdlint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <tuple>
 #include <utility>
 
+#include "baseline.h"
+#include "rules.h"
+#include "symbol_index.h"
+#include "tokenizer.h"
+
 namespace vrdlint {
 namespace {
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::string Trim(std::string_view s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return std::string(s.substr(b, e - b));
-}
-
-std::string ToLower(std::string_view s) {
-  std::string out(s);
-  for (char& c : out) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  }
-  return out;
-}
-
-/// True when `text[pos, pos+word)` is `word` bounded by non-identifier
-/// characters on both sides.
-bool IsWordAt(std::string_view text, std::size_t pos,
-              std::string_view word) {
-  if (pos + word.size() > text.size() ||
-      text.compare(pos, word.size(), word) != 0) {
-    return false;
-  }
-  if (pos > 0 && IsIdentChar(text[pos - 1])) {
-    return false;
-  }
-  const std::size_t end = pos + word.size();
-  return end >= text.size() || !IsIdentChar(text[end]);
-}
-
-/// First word occurrence of `word` in [from, to) of `text`, or npos.
-std::size_t FindWord(std::string_view text, std::string_view word,
-                     std::size_t from = 0,
-                     std::size_t to = std::string_view::npos) {
-  const std::size_t limit = std::min(to, text.size());
-  std::size_t pos = from;
-  while (pos < limit) {
-    pos = text.find(word, pos);
-    if (pos == std::string_view::npos || pos >= limit) {
-      return std::string_view::npos;
-    }
-    if (IsWordAt(text, pos, word)) {
-      return pos;
-    }
-    ++pos;
-  }
-  return std::string_view::npos;
-}
-
-bool ContainsWord(std::string_view text, std::string_view word) {
-  return FindWord(text, word) != std::string_view::npos;
-}
-
-/// True when `word` appears followed (after whitespace) by '('.
-bool ContainsCall(std::string_view text, std::string_view word) {
-  std::size_t pos = 0;
-  while ((pos = FindWord(text, word, pos)) != std::string_view::npos) {
-    std::size_t p = pos + word.size();
-    while (p < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[p]))) {
-      ++p;
-    }
-    if (p < text.size() && text[p] == '(') {
-      return true;
-    }
-    pos += word.size();
-  }
-  return false;
-}
-
-std::size_t SkipSpace(std::string_view text, std::size_t pos) {
-  while (pos < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[pos]))) {
-    ++pos;
-  }
-  return pos;
-}
-
-/// Matching close position for the bracket at `open` (pos of the
-/// closer), or npos when unbalanced. Works on comment/string-stripped
-/// text, so bracket characters are structural.
-std::size_t MatchBracket(std::string_view text, std::size_t open,
-                         char open_char, char close_char) {
-  int depth = 0;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    if (text[i] == open_char) {
-      ++depth;
-    } else if (text[i] == close_char) {
-      if (--depth == 0) {
-        return i;
-      }
-    }
-  }
-  return std::string_view::npos;
-}
-
-/**
- * The per-file scanning substrate: raw lines, a comment/string-
- * stripped mirror (stripped chars become spaces, so columns line up),
- * the stripped lines joined into one string for cross-line matching,
- * and the `vrdlint: allow(...)` tokens attached to each line.
- */
-struct FileView {
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-  std::vector<std::vector<std::string>> allows;
-  std::string flat;                      // code lines joined with '\n'
-  std::vector<std::size_t> line_start;   // flat offset of each line
-
-  /// 1-based line of a flat offset.
-  std::size_t LineOf(std::size_t pos) const {
-    const auto it = std::upper_bound(line_start.begin(), line_start.end(),
-                                     pos);
-    return static_cast<std::size_t>(it - line_start.begin());
-  }
-
-  /// True when the diagnostic rule (or one of its tokens) is allowed
-  /// on the given 1-based line.
-  bool Allowed(std::size_t line,
-               std::initializer_list<std::string_view> tokens) const {
-    if (line == 0 || line > allows.size()) {
-      return false;
-    }
-    for (const std::string& have : allows[line - 1]) {
-      for (const std::string_view want : tokens) {
-        if (have == want) {
-          return true;
-        }
-      }
-    }
-    return false;
-  }
-};
-
-std::vector<std::string> SplitLines(std::string_view text) {
-  std::vector<std::string> lines;
-  std::size_t begin = 0;
-  while (begin <= text.size()) {
-    std::size_t end = text.find('\n', begin);
-    if (end == std::string_view::npos) {
-      lines.emplace_back(text.substr(begin));
-      break;
-    }
-    lines.emplace_back(text.substr(begin, end - begin));
-    begin = end + 1;
-  }
-  return lines;
-}
-
-/// Strip comments and string/character literals from the source,
-/// replacing them with spaces so offsets and line numbers survive.
-std::string StripCommentsAndStrings(std::string_view text) {
-  std::string out(text);
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"' && i > 0 && text[i - 1] == 'R' &&
-                   (i < 2 || !IsIdentChar(text[i - 2]))) {
-          // Raw string literal: R"delim( ... )delim"
-          raw_delim = ")";
-          for (std::size_t j = i + 1;
-               j < text.size() && text[j] != '(' && j < i + 20; ++j) {
-            raw_delim += text[j];
-          }
-          raw_delim += '"';
-          state = State::kRawString;
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'' && !(i > 0 && IsIdentChar(text[i - 1]))) {
-          // Skip digit separators (1'000'000) via the ident-char test.
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n') {
-            if (i + 1 < text.size()) {
-              out[i + 1] = ' ';
-            }
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < text.size()) {
-            out[i + 1] = ' ';
-          }
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRawString:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t j = 0; j < raw_delim.size(); ++j) {
-            out[i + j] = ' ';
-          }
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-/// Parse `vrdlint: allow(tok, tok)` annotations out of the raw lines.
-/// A trailing annotation covers its own line; an annotation on a
-/// comment-only line also covers the next line.
-void CollectAllows(FileView* view) {
-  view->allows.assign(view->raw.size(), {});
-  for (std::size_t i = 0; i < view->raw.size(); ++i) {
-    const std::string& line = view->raw[i];
-    const std::size_t tag = line.find("vrdlint:");
-    if (tag == std::string::npos) {
-      continue;
-    }
-    std::size_t p = SkipSpace(line, tag + 8);
-    if (line.compare(p, 5, "allow") != 0) {
-      continue;
-    }
-    p = SkipSpace(line, p + 5);
-    if (p >= line.size() || line[p] != '(') {
-      continue;
-    }
-    const std::size_t close = line.find(')', p);
-    if (close == std::string::npos) {
-      continue;
-    }
-    std::vector<std::string> tokens;
-    std::stringstream list(line.substr(p + 1, close - p - 1));
-    std::string token;
-    while (std::getline(list, token, ',')) {
-      token = Trim(token);
-      if (!token.empty()) {
-        tokens.push_back(token);
-      }
-    }
-    for (const std::string& t : tokens) {
-      view->allows[i].push_back(t);
-    }
-    // Comment-only line: the annotation also covers the next line.
-    if (Trim(view->code[i]).empty() && i + 1 < view->raw.size()) {
-      for (const std::string& t : tokens) {
-        view->allows[i + 1].push_back(t);
-      }
-    }
-  }
-}
-
-FileView BuildView(std::string_view text) {
-  FileView view;
-  view.raw = SplitLines(text);
-  const std::string stripped = StripCommentsAndStrings(text);
-  view.code = SplitLines(stripped);
-  CollectAllows(&view);
-  view.line_start.reserve(view.code.size());
-  for (const std::string& line : view.code) {
-    view.line_start.push_back(view.flat.size());
-    view.flat += line;
-    view.flat += '\n';
-  }
-  return view;
-}
-
-bool IsHeaderPath(std::string_view path) {
-  return path.ends_with(".h") || path.ends_with(".hh") ||
-         path.ends_with(".hpp");
-}
-
-bool RuleSuppressedForPath(const Config& config, std::string_view rule,
-                           std::string_view path) {
-  const auto it = config.allow_paths.find(std::string(rule));
-  if (it == config.allow_paths.end()) {
-    return false;
-  }
-  for (const std::string& fragment : it->second) {
-    if (path.find(fragment) != std::string_view::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Rule: banned-api
-// ---------------------------------------------------------------------------
-
-struct BannedPattern {
-  const char* needle;       // substring or word to search
-  bool word;                // match with identifier boundaries
-  bool call;                // require a following '('
-  const char* allow_token;  // extra allow() token besides the rule name
-  const char* message;
-};
-
-constexpr BannedPattern kBannedPatterns[] = {
-    {"random_device", true, false, nullptr,
-     "std::random_device is nondeterministic; construct vrddram::Rng "
-     "from a seed expression"},
-    {"srand", true, true, nullptr,
-     "srand() is banned; vrddram::Rng streams are seeded explicitly"},
-    {"rand", true, true, nullptr,
-     "rand() is banned; draw from a seeded vrddram::Rng stream"},
-    {"time", true, true, nullptr,
-     "time() is banned in result-producing code; use simulated Ticks "
-     "(Device::Now) or common/telemetry.h"},
-    {"steady_clock::now", false, false, "wall-clock",
-     "wall-clock read outside telemetry; use common/telemetry.h "
-     "Stopwatch or annotate with // vrdlint: allow(wall-clock)"},
-    {"system_clock::now", false, false, "wall-clock",
-     "wall-clock read outside telemetry; use common/telemetry.h "
-     "Stopwatch or annotate with // vrdlint: allow(wall-clock)"},
-    {"high_resolution_clock::now", false, false, "wall-clock",
-     "wall-clock read outside telemetry; use common/telemetry.h "
-     "Stopwatch or annotate with // vrdlint: allow(wall-clock)"},
-};
-
-void CheckBannedApi(const std::string& path, const FileView& view,
-                    const Config& config,
-                    std::vector<Diagnostic>* diagnostics) {
-  if (RuleSuppressedForPath(config, "banned-api", path)) {
-    return;
-  }
-  for (const BannedPattern& pattern : kBannedPatterns) {
-    const std::string_view needle = pattern.needle;
-    std::size_t pos = 0;
-    while ((pos = view.flat.find(needle, pos)) != std::string::npos) {
-      const std::size_t here = pos;
-      pos += needle.size();
-      if (pattern.word && !IsWordAt(view.flat, here, needle)) {
-        continue;
-      }
-      if (pattern.call) {
-        const std::size_t after = SkipSpace(view.flat, here + needle.size());
-        if (after >= view.flat.size() || view.flat[after] != '(') {
-          continue;
-        }
-      }
-      const std::size_t line = view.LineOf(here);
-      if (pattern.allow_token != nullptr
-              ? view.Allowed(line, {"banned-api", pattern.allow_token})
-              : view.Allowed(line, {"banned-api"})) {
-        continue;
-      }
-      diagnostics->push_back(
-          Diagnostic{path, line, "banned-api", pattern.message});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: unordered-iteration
-// ---------------------------------------------------------------------------
-
-constexpr std::string_view kUnorderedTypes[] = {
-    "unordered_map", "unordered_set", "unordered_multimap",
-    "unordered_multiset"};
-
-/// Names declared with an unordered container type in this file
-/// (locals and members alike — the scan is declaration-shaped, not
-/// scope-aware).
-std::vector<std::string> CollectUnorderedNames(const FileView& view) {
-  std::vector<std::string> names;
-  const std::string_view flat = view.flat;
-  for (const std::string_view type : kUnorderedTypes) {
-    std::size_t pos = 0;
-    while ((pos = FindWord(flat, type, pos)) != std::string_view::npos) {
-      std::size_t p = SkipSpace(flat, pos + type.size());
-      pos += type.size();
-      if (p >= flat.size() || flat[p] != '<') {
-        continue;  // e.g. an #include or a comment-adjacent mention
-      }
-      const std::size_t close = MatchBracket(flat, p, '<', '>');
-      if (close == std::string_view::npos) {
-        continue;
-      }
-      p = SkipSpace(flat, close + 1);
-      if (p < flat.size() && flat[p] == '&') {
-        p = SkipSpace(flat, p + 1);
-      }
-      if (p >= flat.size() || !IsIdentStart(flat[p])) {
-        continue;
-      }
-      std::size_t end = p;
-      while (end < flat.size() && IsIdentChar(flat[end])) {
-        ++end;
-      }
-      names.emplace_back(flat.substr(p, end - p));
-    }
-  }
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return names;
-}
-
-void CheckUnorderedIteration(const std::string& path, const FileView& view,
-                             const Config& config,
-                             const std::vector<std::string>& extra_names,
-                             std::vector<Diagnostic>* diagnostics) {
-  if (RuleSuppressedForPath(config, "unordered-iteration", path)) {
-    return;
-  }
-  std::vector<std::string> names = CollectUnorderedNames(view);
-  names.insert(names.end(), extra_names.begin(), extra_names.end());
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-
-  const std::string_view flat = view.flat;
-  std::size_t pos = 0;
-  while ((pos = FindWord(flat, "for", pos)) != std::string_view::npos) {
-    const std::size_t kw = pos;
-    pos += 3;
-    const std::size_t open = SkipSpace(flat, kw + 3);
-    if (open >= flat.size() || flat[open] != '(') {
-      continue;
-    }
-    const std::size_t close = MatchBracket(flat, open, '(', ')');
-    if (close == std::string_view::npos) {
-      continue;
-    }
-    // Top-level ':' that is not part of '::' marks a range-for.
-    std::size_t colon = std::string_view::npos;
-    int depth = 0;
-    for (std::size_t i = open + 1; i < close; ++i) {
-      const char c = flat[i];
-      if (c == '(' || c == '[' || c == '{' || c == '<') {
-        ++depth;
-      } else if (c == ')' || c == ']' || c == '}' || c == '>') {
-        --depth;
-      } else if (c == ':' && depth == 0) {
-        const bool prev_colon = i > 0 && flat[i - 1] == ':';
-        const bool next_colon = i + 1 < close && flat[i + 1] == ':';
-        if (!prev_colon && !next_colon) {
-          colon = i;
-          break;
-        }
-      }
-    }
-    if (colon == std::string_view::npos) {
-      continue;
-    }
-    const std::string_view range = flat.substr(colon + 1, close - colon - 1);
-    bool laundered = false;
-    for (const std::string& call : config.ordering_calls) {
-      if (ContainsCall(range, call)) {
-        laundered = true;
-        break;
-      }
-    }
-    if (laundered) {
-      continue;
-    }
-    std::string offender;
-    if (range.find("unordered_") != std::string_view::npos) {
-      offender = "an unordered container expression";
-    } else {
-      for (const std::string& name : names) {
-        if (ContainsWord(range, name)) {
-          offender = "'" + name + "'";
-          break;
-        }
-      }
-    }
-    if (offender.empty()) {
-      continue;
-    }
-    const std::size_t line = view.LineOf(kw);
-    if (view.Allowed(line, {"unordered-iteration"})) {
-      continue;
-    }
-    diagnostics->push_back(Diagnostic{
-        path, line, "unordered-iteration",
-        "range-for over " + offender +
-            ": hash order leaks into results; iterate a SortedByKey()/"
-            "SortedKeys() snapshot or annotate with "
-            "// vrdlint: allow(unordered-iteration)"});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: rng-discipline
-// ---------------------------------------------------------------------------
-
-struct RngDecl {
-  std::string name;
-  std::size_t pos = 0;  // flat offset of the declaration
-};
-
-/// Heuristic: constructor arguments are value expressions; two
-/// adjacent bare identifiers ("std::uint64_t seed") mean we are
-/// looking at a function parameter list, not a construction.
-bool LooksLikeParameterList(std::string_view args) {
-  std::size_t i = 0;
-  while (i < args.size()) {
-    if (!IsIdentStart(args[i])) {
-      ++i;
-      continue;
-    }
-    std::size_t end = i;
-    while (end < args.size() && IsIdentChar(args[end])) {
-      ++end;
-    }
-    std::size_t next = SkipSpace(args, end);
-    if (next > end && next < args.size() && IsIdentStart(args[next])) {
-      return true;
-    }
-    i = end + 1;
-  }
-  return false;
-}
-
-/// A seed expression: empty (default seed), pure literal arithmetic,
-/// mentions of something seed-named, or a call to a seed-deriving
-/// function (MixSeed/HashLabel/SplitMix64/Fork + config additions).
-bool IsSeedExpression(std::string_view args, const Config& config) {
-  const std::string trimmed = Trim(args);
-  if (trimmed.empty()) {
-    return true;
-  }
-  if (ToLower(trimmed).find("seed") != std::string::npos) {
-    return true;
-  }
-  for (const std::string& call : config.seed_calls) {
-    if (ContainsCall(trimmed, call)) {
-      return true;
-    }
-  }
-  bool has_digit = false;
-  for (const char c : trimmed) {
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      has_digit = true;
-    }
-    if (IsIdentChar(c) || std::isspace(static_cast<unsigned char>(c)) ||
-        std::string_view("^|&+-*~%()<>,'").find(c) !=
-            std::string_view::npos) {
-      continue;
-    }
-    return false;
-  }
-  if (!has_digit) {
-    return false;
-  }
-  // "Pure literal arithmetic": digit-led tokens (0x1234ull) and
-  // operators only; any identifier (which starts with a letter or
-  // underscore) disqualifies.
-  std::size_t i = 0;
-  while (i < trimmed.size()) {
-    if (std::isdigit(static_cast<unsigned char>(trimmed[i]))) {
-      while (i < trimmed.size() &&
-             (IsIdentChar(trimmed[i]) || trimmed[i] == '\'')) {
-        ++i;
-      }
-      continue;
-    }
-    if (IsIdentStart(trimmed[i])) {
-      return false;
-    }
-    ++i;
-  }
-  return true;
-}
-
-std::string_view PreviousWord(std::string_view text, std::size_t pos) {
-  std::size_t i = pos;
-  while (i > 0 &&
-         std::isspace(static_cast<unsigned char>(text[i - 1]))) {
-    --i;
-  }
-  std::size_t end = i;
-  while (i > 0 && IsIdentChar(text[i - 1])) {
-    --i;
-  }
-  return text.substr(i, end - i);
-}
-
-/// Collect Rng declarations and check construction arguments.
-std::vector<RngDecl> CheckRngConstruction(
-    const std::string& path, const FileView& view, const Config& config,
-    bool emit, std::vector<Diagnostic>* diagnostics) {
-  std::vector<RngDecl> decls;
-  const std::string_view flat = view.flat;
-  std::size_t pos = 0;
-  while ((pos = FindWord(flat, "Rng", pos)) != std::string_view::npos) {
-    const std::size_t here = pos;
-    pos += 3;
-    // Template arguments (vector<Rng>) fall out naturally: the token
-    // after them is '>' or ',', which no branch below accepts.
-    const std::string_view prev = PreviousWord(flat, here);
-    if (prev == "class" || prev == "struct" || prev == "typename" ||
-        prev == "using" || prev == "friend") {
-      continue;
-    }
-    std::size_t p = SkipSpace(flat, here + 3);
-    if (p >= flat.size()) {
-      continue;
-    }
-    if (flat[p] == ':') {
-      continue;  // Rng::member
-    }
-    std::string args;
-    std::size_t args_pos = here;
-    std::string name;
-    if (flat[p] == '(') {
-      // Temporary: Rng(<args>)
-      const std::size_t close = MatchBracket(flat, p, '(', ')');
-      if (close == std::string_view::npos) {
-        continue;
-      }
-      args = std::string(flat.substr(p + 1, close - p - 1));
-      args_pos = p;
-    } else if (flat[p] == '&' || IsIdentStart(flat[p])) {
-      if (flat[p] == '&') {
-        p = SkipSpace(flat, p + 1);
-      }
-      if (p >= flat.size() || !IsIdentStart(flat[p])) {
-        continue;
-      }
-      std::size_t end = p;
-      while (end < flat.size() && IsIdentChar(flat[end])) {
-        ++end;
-      }
-      name = std::string(flat.substr(p, end - p));
-      std::size_t after = SkipSpace(flat, end);
-      if (after + 1 < flat.size() && flat[after] == ':' &&
-          flat[after + 1] == ':') {
-        continue;  // qualified definition: Rng Rng::Fork(...)
-      }
-      if (after < flat.size() && (flat[after] == '(' || flat[after] == '{')) {
-        const char open_char = flat[after];
-        const char close_char = open_char == '(' ? ')' : '}';
-        const std::size_t close =
-            MatchBracket(flat, after, open_char, close_char);
-        if (close == std::string_view::npos) {
-          continue;
-        }
-        args = std::string(flat.substr(after + 1, close - after - 1));
-        args_pos = after;
-        if (LooksLikeParameterList(args)) {
-          continue;  // function declaration returning Rng, not a decl
-        }
-        decls.push_back(RngDecl{name, here});
-        if (open_char == '{' && SkipSpace(args, 0) == args.size()) {
-          continue;  // empty brace init: default seed
-        }
-      } else {
-        decls.push_back(RngDecl{name, here});
-        continue;  // plain declaration or reference bind, default seed
-      }
-    } else {
-      continue;
-    }
-    if (LooksLikeParameterList(args)) {
-      continue;  // e.g. `explicit Rng(std::uint64_t seed = ...)`
-    }
-    if (emit && !IsSeedExpression(args, config)) {
-      const std::size_t line = view.LineOf(args_pos);
-      if (!view.Allowed(line, {"rng-discipline"})) {
-        diagnostics->push_back(Diagnostic{
-            path, line, "rng-discipline",
-            "Rng constructed from a non-seed expression (" + Trim(args) +
-                "); derive the seed via MixSeed/HashLabel or a *seed* "
-                "value so the stream is reproducible"});
-      }
-    }
-  }
-  return decls;
-}
-
-/// Constructor-initializer discipline: an identifier that is
-/// rng-named and member-shaped (`rng_`, `powerup_rng_`) initialized
-/// with non-seed arguments. The declared type lives in the header, so
-/// this is name-convention-based — which the codebase follows.
-void CheckRngMemberInit(const std::string& path, const FileView& view,
-                        const Config& config,
-                        std::vector<Diagnostic>* diagnostics) {
-  const std::string_view flat = view.flat;
-  std::size_t i = 0;
-  while (i < flat.size()) {
-    if (!IsIdentStart(flat[i])) {
-      ++i;
-      continue;
-    }
-    std::size_t end = i;
-    while (end < flat.size() && IsIdentChar(flat[end])) {
-      ++end;
-    }
-    const std::string word(flat.substr(i, end - i));
-    const std::size_t start = i;
-    i = end;
-    if (word.size() < 4 || word.back() != '_' ||
-        ToLower(word).find("rng") == std::string::npos) {
-      continue;
-    }
-    const std::size_t open = SkipSpace(flat, end);
-    if (open >= flat.size() || (flat[open] != '(' && flat[open] != '{')) {
-      continue;
-    }
-    const char close_char = flat[open] == '(' ? ')' : '}';
-    const std::size_t close =
-        MatchBracket(flat, open, flat[open], close_char);
-    if (close == std::string_view::npos) {
-      continue;
-    }
-    const std::string args(flat.substr(open + 1, close - open - 1));
-    if (LooksLikeParameterList(args) || IsSeedExpression(args, config)) {
-      continue;
-    }
-    const std::size_t line = view.LineOf(start);
-    if (view.Allowed(line, {"rng-discipline"})) {
-      continue;
-    }
-    diagnostics->push_back(Diagnostic{
-        path, line, "rng-discipline",
-        "Rng member '" + word + "' initialized from a non-seed "
-        "expression (" + Trim(args) + "); derive the seed via MixSeed/"
-        "HashLabel or a *seed* value so the stream is reproducible"});
-  }
-}
-
-/// Start-of-enclosing-scope heuristic: the nearest preceding line that
-/// begins at column 0 with an identifier or '}' (function signatures
-/// and TEST( macros both do, in this codebase's style).
-std::size_t EnclosingScopeStart(const FileView& view, std::size_t line) {
-  for (std::size_t l = line; l > 0; --l) {
-    const std::string& code = view.code[l - 1];
-    if (!code.empty() && (IsIdentStart(code[0]) || code[0] == '}')) {
-      return view.line_start[l - 1];
-    }
-  }
-  return 0;
-}
-
-void CheckRngInDispatchLambdas(const std::string& path,
-                               const FileView& view, const Config& config,
-                               const std::vector<RngDecl>& decls,
-                               std::vector<Diagnostic>* diagnostics) {
-  if (RuleSuppressedForPath(config, "rng-discipline", path)) {
-    return;
-  }
-  const std::string_view flat = view.flat;
-  for (const std::string_view dispatch : {"ParallelFor", "Submit"}) {
-    std::size_t pos = 0;
-    while ((pos = FindWord(flat, dispatch, pos)) !=
-           std::string_view::npos) {
-      const std::size_t kw = pos;
-      pos += dispatch.size();
-      const std::size_t open = SkipSpace(flat, kw + dispatch.size());
-      if (open >= flat.size() || flat[open] != '(') {
-        continue;
-      }
-      const std::size_t close = MatchBracket(flat, open, '(', ')');
-      if (close == std::string_view::npos) {
-        continue;
-      }
-      // Find a lambda among the arguments.
-      const std::size_t intro = flat.find('[', open);
-      if (intro == std::string_view::npos || intro > close) {
-        continue;
-      }
-      const std::size_t intro_close = MatchBracket(flat, intro, '[', ']');
-      if (intro_close == std::string_view::npos || intro_close > close) {
-        continue;
-      }
-      const std::size_t body_open = flat.find('{', intro_close);
-      if (body_open == std::string_view::npos || body_open > close) {
-        continue;
-      }
-      const std::size_t body_close =
-          MatchBracket(flat, body_open, '{', '}');
-      if (body_close == std::string_view::npos) {
-        continue;
-      }
-      const std::string_view body =
-          flat.substr(body_open, body_close - body_open + 1);
-
-      const bool forked_before =
-          ContainsCall(
-              flat.substr(EnclosingScopeStart(view, view.LineOf(kw)),
-                          kw - EnclosingScopeStart(view, view.LineOf(kw))),
-              "Fork");
-      if (forked_before) {
-        continue;  // streams were pre-forked in this scope
-      }
-      for (const RngDecl& decl : decls) {
-        if (decl.pos >= open) {
-          continue;  // declared after (or inside) the dispatch
-        }
-        // Re-declared inside the body -> the body name is local.
-        bool local = false;
-        for (const RngDecl& other : decls) {
-          if (other.name == decl.name && other.pos > body_open &&
-              other.pos < body_close) {
-            local = true;
-            break;
-          }
-        }
-        if (local) {
-          continue;
-        }
-        const std::size_t use = FindWord(body, decl.name);
-        if (use == std::string_view::npos) {
-          continue;
-        }
-        const std::size_t line = view.LineOf(body_open + use);
-        if (view.Allowed(line, {"rng-discipline"})) {
-          continue;
-        }
-        diagnostics->push_back(Diagnostic{
-            path, line, "rng-discipline",
-            "captured Rng '" + decl.name + "' touched inside a " +
-                std::string(dispatch) +
-                " lambda without a preceding Fork(...) in the enclosing "
-                "scope; fork per-task streams before dispatch "
-                "(DESIGN.md §6)"});
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: catch-all-swallow
-// ---------------------------------------------------------------------------
-
-/// Body constructs that count as preserving the caught exception:
-/// rethrowing (any `throw`), capturing it (`std::current_exception`),
-/// or converting it into a typed vrddram error.
-constexpr std::string_view kPreservingWords[] = {
-    "throw",         "TransientError", "FatalError",
-    "PanicError",    "ThrowFatal",     "ThrowPanic",
-    "VRD_FATAL_IF",  "VRD_ASSERT",     "VRD_ASSERT_MSG",
-};
-
-bool BodyPreservesException(std::string_view body) {
-  for (const std::string_view word : kPreservingWords) {
-    if (ContainsWord(body, word)) {
-      return true;
-    }
-  }
-  return ContainsCall(body, "current_exception");
-}
-
-/// A handler is a swallow candidate when it catches everything:
-/// `catch (...)` or any `std::exception&` spelling.
-bool IsCatchAllParam(std::string_view params) {
-  const std::string trimmed = Trim(params);
-  if (trimmed.find("...") != std::string::npos) {
-    return true;
-  }
-  return ContainsWord(trimmed, "exception");
-}
-
-void CheckCatchAllSwallow(const std::string& path, const FileView& view,
-                          const Config& config,
-                          std::vector<Diagnostic>* diagnostics) {
-  if (RuleSuppressedForPath(config, "catch-all-swallow", path)) {
-    return;
-  }
-  const std::string_view flat = view.flat;
-  std::size_t pos = 0;
-  while ((pos = FindWord(flat, "catch", pos)) != std::string_view::npos) {
-    const std::size_t kw = pos;
-    pos += 5;
-    const std::size_t open = SkipSpace(flat, kw + 5);
-    if (open >= flat.size() || flat[open] != '(') {
-      continue;
-    }
-    const std::size_t close = MatchBracket(flat, open, '(', ')');
-    if (close == std::string_view::npos) {
-      continue;
-    }
-    if (!IsCatchAllParam(flat.substr(open + 1, close - open - 1))) {
-      continue;
-    }
-    const std::size_t body_open = SkipSpace(flat, close + 1);
-    if (body_open >= flat.size() || flat[body_open] != '{') {
-      continue;
-    }
-    const std::size_t body_close =
-        MatchBracket(flat, body_open, '{', '}');
-    if (body_close == std::string_view::npos) {
-      continue;
-    }
-    if (BodyPreservesException(
-            flat.substr(body_open + 1, body_close - body_open - 1))) {
-      continue;
-    }
-    const std::size_t line = view.LineOf(kw);
-    if (view.Allowed(line, {"catch-all-swallow", "catch-all"})) {
-      continue;
-    }
-    diagnostics->push_back(Diagnostic{
-        path, line, "catch-all-swallow",
-        "catch-all handler swallows the exception: rethrow, capture it "
-        "via std::current_exception, convert it to a typed vrddram "
-        "error (TransientError/FatalError/PanicError), or annotate "
-        "with // vrdlint: allow(catch-all)"});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: campaign-discipline
-// ---------------------------------------------------------------------------
-
-/// True for repo-relative paths inside the bench/ layer.
-bool IsBenchPath(std::string_view path) {
-  return path.starts_with("bench/") ||
-         path.find("/bench/") != std::string_view::npos;
-}
-
-/// Experiments must not run campaigns themselves: the registry driver
-/// owns execution (and its cache). The word-boundary match leaves
-/// RunCampaignCached alone, and requiring the '(' leaves non-call
-/// mentions (e.g. a function pointer) alone.
-void CheckCampaignDiscipline(const std::string& path, const FileView& view,
-                             const Config& config,
-                             std::vector<Diagnostic>* diagnostics) {
-  if (!IsBenchPath(path) ||
-      RuleSuppressedForPath(config, "campaign-discipline", path)) {
-    return;
-  }
-  constexpr std::string_view kCall = "RunCampaign";
-  const std::string_view flat = view.flat;
-  std::size_t pos = 0;
-  while ((pos = FindWord(flat, kCall, pos)) != std::string_view::npos) {
-    const std::size_t here = pos;
-    pos += kCall.size();
-    const std::size_t open = SkipSpace(flat, here + kCall.size());
-    if (open >= flat.size() || flat[open] != '(') {
-      continue;
-    }
-    const std::size_t line = view.LineOf(here);
-    if (view.Allowed(line, {"campaign-discipline"})) {
-      continue;
-    }
-    diagnostics->push_back(Diagnostic{
-        path, line, "campaign-discipline",
-        "direct RunCampaign call under bench/: experiments must route "
-        "execution through the registry driver's cached path "
-        "(core::RunCampaignCached) so `vrdrepro run --all` executes "
-        "each unique campaign once, or annotate with "
-        "// vrdlint: allow(campaign-discipline)"});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: kernel-allocation
-// ---------------------------------------------------------------------------
-
-/// True for files designated as measurement kernels in the config.
-bool IsKernelPath(const Config& config, std::string_view path) {
-  for (const std::string& fragment : config.kernel_paths) {
-    if (path.find(fragment) != std::string_view::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
-/// Object expression preceding a `.method` / `->method` use: walks
-/// back over identifier characters and member accessors, so
-/// `state.traps.push_back` yields "state.traps" and
-/// `slot->decay.resize` yields "slot->decay". Empty when the method
-/// is not reached through a plain accessor chain.
-std::string_view ObjectExpressionBefore(std::string_view text,
-                                        std::size_t method_pos) {
-  std::size_t i = method_pos;
-  if (i >= 1 && text[i - 1] == '.') {
-    i -= 1;
-  } else if (i >= 2 && text[i - 2] == '-' && text[i - 1] == '>') {
-    i -= 2;
-  } else {
-    return {};
-  }
-  const std::size_t end = i;
-  while (i > 0) {
-    if (IsIdentChar(text[i - 1])) {
-      --i;
-    } else if (text[i - 1] == '.') {
-      --i;
-    } else if (i >= 2 && text[i - 2] == '-' && text[i - 1] == '>') {
-      i -= 2;
-    } else {
-      break;
-    }
-  }
-  while (i < end && !IsIdentStart(text[i])) {
-    ++i;
-  }
-  return text.substr(i, end - i);
-}
-
-/// True when `<obj>.reserve` / `<obj>->reserve` appears before flat
-/// offset `before` — the capacity was provisioned, so the growth call
-/// is not a steady-state allocation.
-bool HasEarlierReserve(std::string_view flat, std::string_view obj,
-                       std::size_t before) {
-  if (obj.empty()) {
-    return false;
-  }
-  for (const std::string_view accessor : {".reserve", "->reserve"}) {
-    std::string needle(obj);
-    needle += accessor;
-    std::size_t pos = 0;
-    while ((pos = flat.find(needle, pos)) != std::string_view::npos &&
-           pos < before) {
-      if (pos == 0 || !IsIdentChar(flat[pos - 1])) {
-        return true;
-      }
-      ++pos;
-    }
-  }
-  return false;
-}
-
-/// The measurement kernel must stay allocation-free end to end
-/// (DESIGN.md §10): in kernel-path files, flag `new` expressions,
-/// make_unique/make_shared, and container growth whose capacity was
-/// not provisioned by an earlier reserve. Construction-time growth is
-/// excused by pairing it with a reserve or by
-/// `// vrdlint: allow(kernel-allocation)`.
-void CheckKernelAllocation(const std::string& path, const FileView& view,
-                           const Config& config,
-                           std::vector<Diagnostic>* diagnostics) {
-  if (!IsKernelPath(config, path) ||
-      RuleSuppressedForPath(config, "kernel-allocation", path)) {
-    return;
-  }
-  const std::string_view flat = view.flat;
-
-  std::size_t pos = 0;
-  while ((pos = FindWord(flat, "new", pos)) != std::string_view::npos) {
-    const std::size_t here = pos;
-    pos += 3;
-    const std::size_t after = SkipSpace(flat, here + 3);
-    if (after >= flat.size() ||
-        (!IsIdentStart(flat[after]) && flat[after] != '(')) {
-      continue;  // not an allocation expression
-    }
-    const std::size_t line = view.LineOf(here);
-    if (view.Allowed(line, {"kernel-allocation"})) {
-      continue;
-    }
-    diagnostics->push_back(Diagnostic{
-        path, line, "kernel-allocation",
-        "`new` in a kernel path: the measurement kernel must stay "
-        "allocation-free (DESIGN.md §10); allocate at construction or "
-        "annotate with // vrdlint: allow(kernel-allocation)"});
-  }
-
-  for (const std::string_view maker : {"make_unique", "make_shared"}) {
-    pos = 0;
-    while ((pos = FindWord(flat, maker, pos)) != std::string_view::npos) {
-      const std::size_t here = pos;
-      pos += maker.size();
-      std::size_t p = SkipSpace(flat, here + maker.size());
-      if (p < flat.size() && flat[p] == '<') {
-        const std::size_t close = MatchBracket(flat, p, '<', '>');
-        if (close == std::string_view::npos) {
-          continue;
-        }
-        p = SkipSpace(flat, close + 1);
-      }
-      if (p >= flat.size() || flat[p] != '(') {
-        continue;
-      }
-      const std::size_t line = view.LineOf(here);
-      if (view.Allowed(line, {"kernel-allocation"})) {
-        continue;
-      }
-      diagnostics->push_back(Diagnostic{
-          path, line, "kernel-allocation",
-          std::string(maker) +
-              " in a kernel path: the measurement kernel must stay "
-              "allocation-free (DESIGN.md §10); allocate at construction "
-              "or annotate with // vrdlint: allow(kernel-allocation)"});
-    }
-  }
-
-  for (const std::string_view method :
-       {"push_back", "emplace_back", "resize"}) {
-    pos = 0;
-    while ((pos = FindWord(flat, method, pos)) != std::string_view::npos) {
-      const std::size_t here = pos;
-      pos += method.size();
-      const std::size_t after = SkipSpace(flat, here + method.size());
-      if (after >= flat.size() || flat[after] != '(') {
-        continue;
-      }
-      const std::string_view obj = ObjectExpressionBefore(flat, here);
-      if (obj.empty() || HasEarlierReserve(flat, obj, here)) {
-        continue;
-      }
-      const std::size_t line = view.LineOf(here);
-      if (view.Allowed(line, {"kernel-allocation"})) {
-        continue;
-      }
-      diagnostics->push_back(Diagnostic{
-          path, line, "kernel-allocation",
-          "'" + std::string(obj) + "." + std::string(method) +
-              "' with no earlier '" + std::string(obj) +
-              ".reserve(...)': growth in a kernel path allocates "
-              "(DESIGN.md §10); reserve the capacity at construction or "
-              "annotate with // vrdlint: allow(kernel-allocation)"});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: header-hygiene
-// ---------------------------------------------------------------------------
-
-void CheckHeaderHygiene(const std::string& path, const FileView& view,
-                        const Config& config,
-                        std::vector<Diagnostic>* diagnostics) {
-  if (!IsHeaderPath(path) ||
-      RuleSuppressedForPath(config, "header-hygiene", path)) {
-    return;
-  }
-  const bool pragma_once =
-      view.flat.find("#pragma once") != std::string::npos;
-  const bool guard =
-      view.flat.find("#ifndef") != std::string::npos &&
-      view.flat.find("#define") != std::string::npos;
-  if (!pragma_once && !guard && !view.Allowed(1, {"header-hygiene"})) {
-    diagnostics->push_back(Diagnostic{
-        path, 1, "header-hygiene",
-        "header has no include guard (#ifndef/#define) or #pragma once"});
-  }
-  std::size_t pos = 0;
-  while ((pos = FindWord(view.flat, "using", pos)) !=
-         std::string_view::npos) {
-    const std::size_t kw = pos;
-    pos += 5;
-    const std::size_t next = SkipSpace(view.flat, kw + 5);
-    if (!IsWordAt(view.flat, next, "namespace")) {
-      continue;
-    }
-    const std::size_t line = view.LineOf(kw);
-    if (view.Allowed(line, {"header-hygiene"})) {
-      continue;
-    }
-    diagnostics->push_back(Diagnostic{
-        path, line, "header-hygiene",
-        "`using namespace` in a header leaks into every includer; "
-        "qualify names instead"});
-  }
-}
 
 void SortDiagnostics(std::vector<Diagnostic>* diagnostics) {
   std::sort(diagnostics->begin(), diagnostics->end(),
@@ -1223,28 +34,29 @@ void SortDiagnostics(std::vector<Diagnostic>* diagnostics) {
             });
 }
 
-std::vector<Diagnostic> LintSourceImpl(
-    const std::string& path, std::string_view text, const Config& config,
-    const std::vector<std::string>& extra_unordered_names) {
-  const FileView view = BuildView(text);
-  std::vector<Diagnostic> diagnostics;
-  CheckBannedApi(path, view, config, &diagnostics);
-  CheckUnorderedIteration(path, view, config, extra_unordered_names,
-                          &diagnostics);
-  const bool rng_suppressed =
-      RuleSuppressedForPath(config, "rng-discipline", path);
-  const std::vector<RngDecl> decls = CheckRngConstruction(
-      path, view, config, /*emit=*/!rng_suppressed, &diagnostics);
-  if (!rng_suppressed) {
-    CheckRngMemberInit(path, view, config, &diagnostics);
+/// Key diagnostics to their source line's content (baseline / SARIF
+/// fingerprints survive pure line-number churn this way).
+void StampContentHashes(const FileView& view,
+                        std::vector<Diagnostic>* diagnostics,
+                        std::size_t from) {
+  for (std::size_t i = from; i < diagnostics->size(); ++i) {
+    Diagnostic& diag = (*diagnostics)[i];
+    if (diag.line >= 1 && diag.line <= view.raw.size()) {
+      diag.content_hash = HashLineContent(view.raw[diag.line - 1]);
+    }
   }
-  CheckRngInDispatchLambdas(path, view, config, decls, &diagnostics);
-  CheckCatchAllSwallow(path, view, config, &diagnostics);
-  CheckCampaignDiscipline(path, view, config, &diagnostics);
-  CheckKernelAllocation(path, view, config, &diagnostics);
-  CheckHeaderHygiene(path, view, config, &diagnostics);
-  SortDiagnostics(&diagnostics);
-  return diagnostics;
+}
+
+/// Pass-2 body for one file: every per-file rule family.
+void RunFileRules(const RuleContext& ctx,
+                  std::vector<LockOrderEdge>* edges,
+                  std::vector<Diagnostic>* diagnostics) {
+  const std::size_t before = diagnostics->size();
+  const std::vector<RngDecl> decls = RunCoreRules(ctx, diagnostics);
+  CheckRngFlow(ctx, decls, diagnostics);
+  CheckFloatDeterminism(ctx, diagnostics);
+  CheckLockDiscipline(ctx, edges, diagnostics);
+  StampContentHashes(ctx.view, diagnostics, before);
 }
 
 }  // namespace
@@ -1315,6 +127,8 @@ bool ParseConfigText(std::string_view text, Config* config,
       config->ordering_calls.push_back(value);
     } else if (section == "kernel-allocation" && key == "kernel-path") {
       config->kernel_paths.push_back(value);
+    } else if (section == "float-determinism" && key == "float-path") {
+      config->float_paths.push_back(value);
     } else {
       *error = "config line " + std::to_string(lineno) +
                ": unknown key '" + key + "' in section [" + section + "]";
@@ -1339,7 +153,19 @@ bool LoadConfigFile(const std::string& path, Config* config,
 std::vector<Diagnostic> LintSource(const std::string& path,
                                    std::string_view text,
                                    const Config& config) {
-  return LintSourceImpl(path, text, config, {});
+  const FileView view = BuildView(text);
+  const FileSymbols symbols = AnalyzeFile(path, view);
+  SymbolIndex index;
+  index.AddFile(path, view, symbols);
+  const RuleContext ctx{path, view, symbols, index, config, nullptr};
+  std::vector<Diagnostic> diagnostics;
+  std::vector<LockOrderEdge> edges;
+  RunFileRules(ctx, &edges, &diagnostics);
+  const std::size_t before = diagnostics.size();
+  CheckLockOrdering(edges, &diagnostics);
+  StampContentHashes(view, &diagnostics, before);
+  SortDiagnostics(&diagnostics);
+  return diagnostics;
 }
 
 std::vector<std::string> CollectFiles(const std::string& root,
@@ -1383,14 +209,25 @@ std::vector<Diagnostic> LintTree(const std::string& root,
   namespace fs = std::filesystem;
   const std::vector<std::string> files = CollectFiles(root, config);
 
-  // First pass: per-header unordered member names, so a .cc iterating
-  // a member declared in its paired header (device.cc over a map from
-  // device.h) is still caught. The pairing is by path, not a global
-  // name pool — `rows_` being unordered in device.h must not taint an
-  // unrelated vector member of the same name elsewhere.
-  std::vector<std::pair<std::string, std::string>> sources;
+  // Pass 1: read every file once, build its view and symbols, fold
+  // them into the tree-wide index. Views must outlive pass 2 (the
+  // index stores string_views into member/type text), so everything
+  // is kept in file order for the duration.
+  struct ScannedFile {
+    std::string path;
+    std::string text;
+    FileView view;
+    FileSymbols symbols;
+  };
+  std::vector<ScannedFile> scanned;
+  scanned.reserve(files.size());
+  SymbolIndex index;
+  // Per-header unordered member names, so a .cc iterating a member
+  // declared in its paired header (device.cc over a map from
+  // device.h) is still caught. The pairing is by path stem, not a
+  // global name pool — `rows_` being unordered in device.h must not
+  // taint an unrelated vector member of the same name elsewhere.
   std::map<std::string, std::vector<std::string>> header_names;
-  sources.reserve(files.size());
   for (const std::string& relative : files) {
     std::ifstream in(fs::path(root) / relative);
     if (!in) {
@@ -1398,34 +235,54 @@ std::vector<Diagnostic> LintTree(const std::string& root,
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    sources.emplace_back(relative, buffer.str());
+    scanned.push_back(ScannedFile{relative, buffer.str(), {}, {}});
+    ScannedFile& file = scanned.back();
+    file.view = BuildView(file.text);
+    file.symbols = AnalyzeFile(file.path, file.view);
+    index.AddFile(file.path, file.view, file.symbols);
     if (IsHeaderPath(relative)) {
-      const FileView view = BuildView(sources.back().second);
-      std::vector<std::string> names = CollectUnorderedNames(view);
+      std::vector<std::string> names = CollectUnorderedNames(file.view);
       if (!names.empty()) {
-        const std::string stem =
-            relative.substr(0, relative.rfind('.'));
+        const std::string stem = relative.substr(0, relative.rfind('.'));
         header_names[stem] = std::move(names);
       }
     }
   }
 
+  // Pass 2: rules, with cross-file symbol resolution available.
   std::vector<Diagnostic> diagnostics;
-  for (const auto& [relative, text] : sources) {
-    std::vector<std::string> extra;
-    if (!IsHeaderPath(relative)) {
-      const std::string stem = relative.substr(0, relative.rfind('.'));
+  std::vector<LockOrderEdge> edges;
+  for (const ScannedFile& file : scanned) {
+    const std::vector<std::string>* extra = nullptr;
+    if (!IsHeaderPath(file.path)) {
+      const std::string stem =
+          file.path.substr(0, file.path.rfind('.'));
       const auto it = header_names.find(stem);
       if (it != header_names.end()) {
-        extra = it->second;
+        extra = &it->second;
       }
     }
-    std::vector<Diagnostic> found =
-        LintSourceImpl(relative, text, config, extra);
-    diagnostics.insert(diagnostics.end(),
-                       std::make_move_iterator(found.begin()),
-                       std::make_move_iterator(found.end()));
+    const RuleContext ctx{file.path, file.view, file.symbols,
+                          index,     config,    extra};
+    RunFileRules(ctx, &edges, &diagnostics);
   }
+
+  // Pass 3: global lock-ordering over the collected edges.
+  const std::size_t before = diagnostics.size();
+  CheckLockOrdering(edges, &diagnostics);
+  for (std::size_t i = before; i < diagnostics.size(); ++i) {
+    Diagnostic& diag = diagnostics[i];
+    for (const ScannedFile& file : scanned) {
+      if (file.path == diag.file) {
+        if (diag.line >= 1 && diag.line <= file.view.raw.size()) {
+          diag.content_hash =
+              HashLineContent(file.view.raw[diag.line - 1]);
+        }
+        break;
+      }
+    }
+  }
+
   SortDiagnostics(&diagnostics);
   return diagnostics;
 }

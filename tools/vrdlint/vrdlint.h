@@ -41,6 +41,31 @@
  *                          is excused by pairing it with a reserve or
  *                          by annotation
  *
+ * v2 adds a symbol-aware layer: pass 1 tokenizes every scanned file
+ * and builds a tree-wide symbol index (function signatures, class
+ * members and their types, mutex members, scope nesting); pass 2 runs
+ * the rules with cross-file resolution in hand. That enables three
+ * rule families a line-level scan cannot express:
+ *
+ *  - rng-flow              an Rng captured by reference into a
+ *                          ParallelFor/Submit lambda, passed by
+ *                          non-const reference across a function
+ *                          boundary into per-shard code (the callee
+ *                          may live in another file), or re-seeded
+ *                          from a non-seed expression
+ *  - float-determinism     FMA-contractable shapes (`a*b + c`,
+ *                          `acc += a*b`) in bit-equality kernel files
+ *                          (the `float-path` entries of the config),
+ *                          and float accumulation across ParallelFor
+ *                          tasks anywhere — both break the §6
+ *                          bit-identical-at-any-thread-count contract
+ *  - lock-discipline       members annotated
+ *                          `// vrdlint: guarded_by(mu_)` must only be
+ *                          touched while `mu_` is held (or under a
+ *                          `// vrdlint: requires_lock(mu_)` method
+ *                          contract), and every mutex pair must be
+ *                          acquired in one consistent order tree-wide
+ *
  * Suppressions are written in the source, next to the code they
  * excuse: `// vrdlint: allow(<rule-or-token>[, ...])` on the flagged
  * line or on a comment line immediately above it. The `wall-clock`
@@ -50,12 +75,15 @@
  *
  * Diagnostics print as `file:line: rule: message`, and the scan exits
  * nonzero when anything fires — which is what lets ctest gate the
- * tree (see the `vrdlint_tree` test).
+ * tree (see the `vrdlint_tree` test). The CLI can additionally emit
+ * SARIF 2.1.0 (`--sarif`, see sarif.h) and suppress accepted findings
+ * through a checked-in baseline (`--baseline`, see baseline.h).
  */
 #ifndef VRDDRAM_TOOLS_VRDLINT_H
 #define VRDDRAM_TOOLS_VRDLINT_H
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -69,6 +97,9 @@ struct Diagnostic {
   std::size_t line = 0;
   std::string rule;
   std::string message;
+  /// FNV-1a 64 hash of the trimmed source line, the line-number-churn-
+  /// resistant key used by the baseline and SARIF fingerprints.
+  std::uint64_t content_hash = 0;
 
   /// "file:line: rule: message" — the stable output format.
   std::string ToString() const;
@@ -110,6 +141,10 @@ struct Config {
   /// subject to the kernel-allocation rule. Empty by default (the rule
   /// is opt-in per file).
   std::vector<std::string> kernel_paths;
+  /// Path substrings naming bit-equality kernel files: only these are
+  /// subject to the FMA-shape half of float-determinism (the
+  /// ParallelFor-accumulation half applies everywhere).
+  std::vector<std::string> float_paths;
   /// rule name -> path substrings where the rule is suppressed.
   std::map<std::string, std::vector<std::string>> allow_paths;
   /// Internal: set once the first `scan =` line replaces the default
